@@ -1,0 +1,23 @@
+# Convenience targets for the DCMT reproduction.
+
+.PHONY: install test bench report quickstart lint-clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report:
+	dcmt-experiments report --out report/ --scale 0.5 --seeds 0 1
+
+quickstart:
+	python examples/quickstart.py
+
+# Regenerate the committed result transcripts.
+outputs:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt

@@ -1,0 +1,25 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure at a reduced scale
+(``BENCH_SCALE`` of the full workload) and prints the rendered artifact
+so a benchmark run doubles as a reproduction report.  The full-scale
+versions are available through the ``dcmt-experiments`` CLI.
+"""
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+
+#: Fraction of the full workload used by benchmarks.
+BENCH_SCALE = 0.3
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Reduced-scale, single-seed experiment configuration."""
+    return ExperimentConfig(scale=BENCH_SCALE, seeds=(0,), epochs=6)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

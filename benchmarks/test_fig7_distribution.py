@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Fig. 7 (online CVR prediction distributions).
+
+The reproduction target: ESCM2-IPW / ESCM2-DR mean predictions over the
+infer space D are pulled toward the posterior CVR over the click space
+O, while DCMT's mean prediction sits close to the posterior over D.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7_distribution import run_fig7
+
+
+def test_fig7_distribution(benchmark, bench_config):
+    result = run_once(benchmark, run_fig7, bench_config)
+    print("\n" + result.render())
+
+    # The selection gap exists in the served world.
+    assert result.posterior_o > result.posterior_d > result.posterior_n
+
+    # DCMT's average prediction is the closest to the posterior CVR
+    # over D (the paper's Result 3-2).
+    dcmt_gap = result.distance_to_posterior_d("dcmt")
+    for other in ("mmoe", "escm2_ipw", "escm2_dr"):
+        assert dcmt_gap < result.distance_to_posterior_d(other)
+
+    # And the causal-but-click-space baselines overestimate: their mean
+    # predictions are pulled toward the posterior over O.
+    for other in ("escm2_ipw", "escm2_dr"):
+        assert result.mean_prediction(other) > result.posterior_d * 1.1

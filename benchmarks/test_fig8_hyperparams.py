@@ -1,0 +1,71 @@
+"""Benchmark: regenerate Fig. 8 (hyper-parameter impact, AE-ES)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig8_hyperparams import (
+    run_fig8a_embedding_dim,
+    run_fig8b_mlp_depth,
+    run_fig8c_lambda1,
+    run_fig8d_hard_constraint,
+)
+
+
+def test_fig8a_embedding_dim(benchmark, bench_config):
+    result = run_once(
+        benchmark, run_fig8a_embedding_dim, bench_config, dims=(2, 4, 8, 16, 32)
+    )
+    print("\n" + result.render())
+    assert len(result.cvr_aucs) == 5
+    assert all(0.0 < score < 1.0 for score in result.cvr_aucs)
+    # Shape: the best dimension is interior or moderate -- performance
+    # does not increase monotonically to the largest dimension (paper:
+    # large embeddings overfit).
+    assert result.best_x != 32 or result.cvr_aucs[-1] - min(result.cvr_aucs) < 0.1
+
+
+def test_fig8b_mlp_depth(benchmark, bench_config):
+    result = run_once(
+        benchmark, run_fig8b_mlp_depth, bench_config, depths=(1, 2, 3, 4, 5)
+    )
+    print("\n" + result.render())
+    assert len(result.cvr_aucs) == 5
+    spread = max(result.cvr_aucs) - min(result.cvr_aucs)
+    assert spread < 0.25  # depths matter but not catastrophically
+
+
+def test_fig8c_lambda1(benchmark, bench_config):
+    result = run_once(
+        benchmark,
+        run_fig8c_lambda1,
+        bench_config,
+        lambdas=(0.02, 0.2, 2.0, 8.0),
+        include_hard=True,
+    )
+    print("\n" + result.render())
+    assert result.xs[-1] == "hard"
+    soft_scores = result.cvr_aucs[:-1]
+    hard_score = result.cvr_aucs[-1]
+    # The paper's headline for this panel: the hard constraint is
+    # significantly worse than the best soft setting.
+    assert hard_score < max(soft_scores)
+    # And a moderate lambda beats a near-zero lambda.
+    assert max(soft_scores[1:]) >= soft_scores[0]
+
+
+def test_fig8d_hard_constraint_bands(benchmark, bench_config):
+    """Panel (d) reproduction notes (see EXPERIMENTS.md): the paper's
+    TF implementation collapses both heads into ~0.04-wide bands; our
+    projection implementation enforces the same constraint exactly but
+    keeps x-dependence, so we assert the constraint identity and the
+    complementarity of the two bands rather than the collapse width
+    (the *performance* damage of the hard constraint is asserted by
+    the Fig. 8(c) bench)."""
+    result = run_once(benchmark, run_fig8d_hard_constraint, bench_config)
+    print("\n" + result.render())
+    f_lo, f_hi = result.factual_band
+    c_lo, c_hi = result.counterfactual_band
+    assert result.max_sum_violation < 1e-9  # the projection is exact
+    # Complementarity: the bands mirror each other around 0.5.
+    assert abs((f_lo + c_hi) - 1.0) < 1e-9
+    assert abs((f_hi + c_lo) - 1.0) < 1e-9
+    # All predictions remain valid probabilities.
+    assert 0.0 <= f_lo <= f_hi <= 1.0

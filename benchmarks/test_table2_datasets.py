@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Table II (dataset statistics)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table2_datasets import run_table2
+
+
+def test_table2_datasets(benchmark, bench_config):
+    result = run_once(benchmark, run_table2, bench_config)
+    print("\n" + result.render())
+
+    # Shape checks: six datasets x two splits; the funnel holds; the
+    # selection bias (CVR over O vs over D) is material everywhere.
+    assert len(result.rows) == 12
+    for row in result.rows:
+        stats = row.stats
+        assert stats.n_conversions <= stats.n_clicks <= stats.n_exposures
+        assert row.bias["bias_ratio"] > 1.5
+    # CTR ordering across AE datasets follows Table II (ES > FR > US).
+    ctr = {
+        row.dataset: row.stats.ctr
+        for row in result.rows
+        if row.split == "train"
+    }
+    assert ctr["ae_es"] > ctr["ae_fr"] > ctr["ae_us"]
+    assert ctr["alipay_search"] > 0.15  # industrial service search

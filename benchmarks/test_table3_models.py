@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Table III (model inventory)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table3_models import run_table3
+from repro.models.registry import MODEL_REGISTRY
+
+
+def test_table3_models(benchmark, bench_config):
+    result = run_once(benchmark, run_table3, bench_config)
+    print("\n" + result.render())
+
+    assert len(result.rows) == len(MODEL_REGISTRY)
+    names = {row[0] for row in result.rows}
+    assert {"esmm", "escm2_ipw", "escm2_dr", "dcmt", "dcmt_pd", "dcmt_cf"} <= names
+    # Capacity fairness: every model within 2x of the smallest.
+    params = [int(row[4]) for row in result.rows]
+    assert max(params) < 2 * min(params)

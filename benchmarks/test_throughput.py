@@ -1,0 +1,61 @@
+"""Performance benchmarks: training and inference throughput.
+
+Unlike the table/figure benches (one-shot artifact regenerations),
+these use pytest-benchmark's repeated timing to track the numpy
+engine's speed: rows/second for a DCMT training epoch and for
+full-batch inference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dcmt import DCMT
+from repro.data.batching import batch_iterator
+from repro.data.synthetic import SyntheticScenario
+from repro.models import ModelConfig
+from repro.optim import Adam
+
+ROWS = 20_000
+
+
+@pytest.fixture(scope="module")
+def world(bench_config):
+    scenario = SyntheticScenario(
+        bench_config.scenario("ae_es", n_train=ROWS, n_test=1000)
+    )
+    train, test = scenario.generate()
+    return train, test
+
+
+def test_training_epoch_throughput(benchmark, world, bench_config):
+    train, _ = world
+    model = DCMT(train.schema, bench_config.model_config(0))
+    optimizer = Adam(model.parameters(), lr=0.003)
+
+    def one_epoch():
+        rng = np.random.default_rng(0)
+        for batch in batch_iterator(train, 1024, rng):
+            loss = model.loss(batch)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+
+    benchmark.pedantic(one_epoch, rounds=3, iterations=1)
+    rows_per_second = ROWS / benchmark.stats["mean"]
+    print(f"\ntraining throughput: {rows_per_second:,.0f} rows/s")
+    assert rows_per_second > 2_000  # generous CPU floor
+
+
+def test_inference_throughput(benchmark, world, bench_config):
+    train, test = world
+    model = DCMT(train.schema, bench_config.model_config(0))
+    batch = test.full_batch()
+
+    def infer():
+        return model.predict(batch)
+
+    preds = benchmark.pedantic(infer, rounds=5, iterations=1)
+    rows_per_second = len(test) / benchmark.stats["mean"]
+    print(f"\ninference throughput: {rows_per_second:,.0f} rows/s")
+    assert preds.cvr.shape == (len(test),)
+    assert rows_per_second > 10_000

@@ -1,0 +1,90 @@
+"""Numerical tour of the paper's causal analysis (Sections II-III).
+
+Demonstrates, on a fully observed synthetic world:
+
+1. the naive click-space risk is biased under MNAR (Eq. (3));
+2. IPW with oracle propensities is unbiased (Eq. (5));
+3. DR is unbiased when either input is exact (Eq. (6));
+4. Theorem III.1: the DCMT risk under the theorem's conditions;
+5. the fine print: with stochastic propensities the DCMT risk converges
+   to exactly 2x the ground truth (minimiser-consistent), and fake
+   negatives in N are what the counterfactual regularizer must absorb.
+
+Run with::
+
+    python examples/counterfactual_analysis.py
+"""
+
+import numpy as np
+
+from repro.core.theory import (
+    counterfactual_identity_gap,
+    dcmt_risk,
+    stochastic_propensity_scaling,
+    theorem_iii1_bias,
+)
+from repro.metrics.causal import (
+    dr_risk,
+    ideal_risk,
+    ipw_risk,
+    naive_risk,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    n = 20_000
+    cvr_true = rng.uniform(0.05, 0.6, n)
+    # MNAR: click propensity correlated with conversion probability.
+    propensity = np.clip(0.1 + 0.8 * cvr_true, 0.05, 0.9)
+    potential = (rng.random(n) < cvr_true).astype(float)
+    cvr_pred = np.clip(cvr_true + rng.normal(0, 0.1, n), 0.01, 0.99)
+
+    truth = ideal_risk(potential, cvr_pred)
+    print(f"ground-truth risk over D (Eq. 1):      {truth:.4f}")
+
+    naive, ipw, dr = [], [], []
+    for _ in range(300):
+        clicks = (rng.random(n) < propensity).astype(float)
+        naive.append(naive_risk(clicks, potential, cvr_pred))
+        ipw.append(ipw_risk(clicks, potential, cvr_pred, propensity))
+        e_hat = np.full(n, 0.6)  # deliberately bad imputation
+        dr.append(dr_risk(clicks, potential, cvr_pred, propensity, e_hat))
+    print(f"naive click-space risk (Eq. 2):        {np.mean(naive):.4f}  "
+          f"(bias {abs(np.mean(naive) - truth):.4f} -- MNAR hurts)")
+    print(f"IPW risk, oracle propensities (Eq. 5): {np.mean(ipw):.4f}  "
+          f"(bias {abs(np.mean(ipw) - truth):.4f} -- unbiased)")
+    print(f"DR risk, bad imputation (Eq. 6):       {np.mean(dr):.4f}  "
+          f"(bias {abs(np.mean(dr) - truth):.4f} -- doubly robust)")
+
+    print()
+    print("Theorem III.1 (o = o_hat per realisation, r* = 1 - r):")
+    clicks = (rng.random(n) < propensity).astype(float)
+    bias = theorem_iii1_bias(clicks, potential, cvr_pred)
+    print(f"  DCMT risk bias: {bias:.2e}  (identically zero)")
+    gap = counterfactual_identity_gap(potential, cvr_pred)
+    print(f"  log-loss mirror identity violation: {gap:.2e}")
+
+    ratio = stochastic_propensity_scaling(
+        potential, cvr_pred, propensity, rng, n_rounds=300
+    )
+    print(
+        f"  with stochastic oracle propensities E[risk]/truth = {ratio:.3f} "
+        f"(exactly 2: each space contributes one full copy)"
+    )
+
+    print()
+    print("Fake negatives (observed labels in N are all zero):")
+    observed = clicks * potential
+    risk_fake = dcmt_risk(
+        clicks, observed, cvr_pred, 1.0 - cvr_pred, propensity=clicks
+    )
+    print(
+        f"  DCMT risk with observed labels: {risk_fake:.4f} vs truth "
+        f"{truth:.4f} -- the gap is what the soft counterfactual "
+        f"regularizer absorbs in training."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Compare DCMT against the paper's baselines on one dataset.
+
+A miniature of Table IV: trains ESMM, MMOE, ESCM2-IPW/DR and the DCMT
+family on the AE-ES-like scenario and prints CVR / CTCVR AUC::
+
+    python examples/ecommerce_cvr_benchmark.py
+"""
+
+from repro.data import load_scenario
+from repro.experiments.tables import render_table
+from repro.metrics import auc
+from repro.models import ModelConfig, build_model
+from repro.training import TrainConfig, Trainer
+
+MODELS = ("esmm", "mmoe", "escm2_ipw", "escm2_dr", "dcmt_pd", "dcmt_cf", "dcmt")
+
+
+def main() -> None:
+    train, test, _ = load_scenario("ae_es", n_train=30_000, n_test=12_000)
+    print(
+        f"AE-ES-like world: {train.n_clicks} clicks, "
+        f"{train.n_conversions} conversions in {train.n_exposures} exposures"
+    )
+
+    rows = []
+    for name in MODELS:
+        model = build_model(
+            name, train.schema, ModelConfig(embedding_dim=8, hidden_sizes=(32, 16))
+        )
+        Trainer(model, TrainConfig(epochs=6, learning_rate=0.003)).fit(train)
+        preds = model.predict(test.full_batch())
+        rows.append(
+            [
+                name,
+                auc(test.conversions, preds.cvr),
+                auc(test.conversions, preds.ctcvr),
+                auc(test.oracle_conversion, preds.cvr),
+                preds.cvr.mean(),
+            ]
+        )
+        print(f"trained {name}")
+
+    print()
+    print(
+        render_table(
+            ["Model", "CVR AUC", "CTCVR AUC", "CVR AUC (do)", "Mean CVR pred"],
+            rows,
+            title="Mini Table IV (AE-ES-like)",
+        )
+    )
+    print(
+        "\nExpected shape: the DCMT family on top of the CVR column; "
+        "ESCM2 between ESMM and the multi-gate baselines; "
+        "all mean predictions above the true posterior, DCMT's the least."
+    )
+
+
+if __name__ == "__main__":
+    main()

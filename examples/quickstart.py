@@ -1,0 +1,54 @@
+"""Quickstart: train DCMT on a synthetic e-commerce exposure log.
+
+Runs in well under a minute on a laptop CPU::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import DCMT
+from repro.data import load_scenario
+from repro.models import ModelConfig
+from repro.training import TrainConfig, Trainer, evaluate_model
+from repro.utils.logging import enable_console_logging
+
+
+def main() -> None:
+    enable_console_logging()
+
+    # 1. A reduced-scale AliExpress-Spain-like world: sparse clicks,
+    #    very sparse conversions, strong not-missing-at-random selection
+    #    bias.  The generator also stores oracle potential outcomes so
+    #    entire-space metrics are exact.
+    train, test, scenario = load_scenario("ae_es", n_train=20_000, n_test=8_000)
+    print(
+        f"train: {train.n_exposures} exposures, {train.n_clicks} clicks, "
+        f"{train.n_conversions} conversions (CTR {train.ctr:.3f}, "
+        f"CVR|click {train.cvr_given_click:.3f})"
+    )
+
+    # 2. The DCMT model: shared embeddings, wide&deep CTR tower, and the
+    #    twin CVR tower with the counterfactual mechanism.
+    model = DCMT(train.schema, ModelConfig(embedding_dim=8, hidden_sizes=(32, 16)))
+    print(f"DCMT parameters: {model.num_parameters()}")
+
+    # 3. Train with the paper's protocol (Adam, batch 1024, L2 decay).
+    trainer = Trainer(model, TrainConfig(epochs=5, learning_rate=0.003))
+    history = trainer.fit(train, validation=test)
+    print(f"epoch losses: {[round(x, 4) for x in history.epoch_losses]}")
+
+    # 4. Evaluate over the click space and (via the oracle) the entire
+    #    exposure space -- the paper's actual inference target.
+    result = evaluate_model(model, test)
+    print(f"CTR AUC:                 {result.ctr_auc:.4f}")
+    print(f"CVR AUC (click space O): {result.cvr_auc_o:.4f}")
+    print(f"CVR AUC (entire space):  {result.cvr_auc_d:.4f}")
+    print(f"CTCVR AUC:               {result.ctcvr_auc:.4f}")
+    print(
+        f"mean CVR prediction {result.avg_cvr_prediction:.4f} vs posterior "
+        f"CVR over D {result.posterior_cvr_d:.4f} (over O: "
+        f"{result.posterior_cvr_o:.4f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

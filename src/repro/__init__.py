@@ -1,0 +1,27 @@
+"""Reproduction of DCMT (ICDE 2023).
+
+DCMT is a Direct entire-space Causal Multi-Task framework for post-click
+conversion rate (CVR) estimation.  This package re-implements the full
+system described in the paper, plus every substrate it depends on:
+
+* :mod:`repro.autograd` -- a numpy reverse-mode automatic differentiation
+  engine (the paper used TensorFlow; see ``DESIGN.md`` for the
+  substitution rationale).
+* :mod:`repro.nn` / :mod:`repro.optim` -- neural-network layers and
+  optimizers built on the autograd engine.
+* :mod:`repro.data` -- synthetic exposure/click/conversion datasets with
+  the same causal structure (MNAR selection bias, extreme sparsity) as
+  the Ali-CCP and AliExpress benchmarks used in the paper.
+* :mod:`repro.metrics` -- AUC, log-loss, calibration and A/B statistics.
+* :mod:`repro.models` -- the seven baselines of Table III.
+* :mod:`repro.core` -- the DCMT model itself (twin tower, counterfactual
+  mechanism, self-normalised inverse propensity weighting).
+* :mod:`repro.training` -- training and evaluation harness.
+* :mod:`repro.simulation` -- an online A/B test simulator (Table V,
+  Fig. 7).
+* :mod:`repro.experiments` -- one module per paper table/figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

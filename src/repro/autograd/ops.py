@@ -1,0 +1,244 @@
+"""Primitive differentiable operations beyond basic arithmetic.
+
+Every function takes and returns :class:`~repro.autograd.tensor.Tensor`
+objects and registers a backward closure.  Numerical-stability notes are
+given where relevant (``sigmoid``, ``log``, ``softmax``): the CVR
+estimators divide by predicted propensities, so stable primitives matter
+more here than in a generic framework.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, _as_tensor, unbroadcast
+
+ArrayLike = Union[Tensor, np.ndarray, float, int, list, tuple]
+
+
+def exp(x: ArrayLike) -> Tensor:
+    """Elementwise exponential."""
+    x = _as_tensor(x)
+    out_data = np.exp(x.data)
+
+    def backward(grad: np.ndarray, a=x, out=out_data) -> Iterable:
+        return ((a, grad * out),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def log(x: ArrayLike) -> Tensor:
+    """Elementwise natural logarithm.
+
+    The caller is responsible for keeping inputs strictly positive (the
+    losses in :mod:`repro.autograd.functional` clip probabilities first,
+    mirroring the paper's clipping of propensities to ``(0, 1)``).
+    """
+    x = _as_tensor(x)
+    out_data = np.log(x.data)
+
+    def backward(grad: np.ndarray, a=x) -> Iterable:
+        return ((a, grad / a.data),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def sigmoid(x: ArrayLike) -> Tensor:
+    """Numerically stable logistic sigmoid."""
+    x = _as_tensor(x)
+    data = x.data
+    out_data = np.empty_like(data, dtype=np.float64)
+    positive = data >= 0
+    out_data[positive] = 1.0 / (1.0 + np.exp(-data[positive]))
+    exp_x = np.exp(data[~positive])
+    out_data[~positive] = exp_x / (1.0 + exp_x)
+
+    def backward(grad: np.ndarray, a=x, out=out_data) -> Iterable:
+        return ((a, grad * out * (1.0 - out)),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def tanh(x: ArrayLike) -> Tensor:
+    """Elementwise hyperbolic tangent."""
+    x = _as_tensor(x)
+    out_data = np.tanh(x.data)
+
+    def backward(grad: np.ndarray, a=x, out=out_data) -> Iterable:
+        return ((a, grad * (1.0 - out**2)),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def relu(x: ArrayLike) -> Tensor:
+    """Elementwise rectified linear unit."""
+    x = _as_tensor(x)
+    out_data = np.maximum(x.data, 0.0)
+
+    def backward(grad: np.ndarray, a=x) -> Iterable:
+        return ((a, grad * (a.data > 0)),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def leaky_relu(x: ArrayLike, negative_slope: float = 0.01) -> Tensor:
+    """Leaky ReLU with configurable negative slope."""
+    x = _as_tensor(x)
+    out_data = np.where(x.data > 0, x.data, negative_slope * x.data)
+
+    def backward(grad: np.ndarray, a=x, slope=negative_slope) -> Iterable:
+        return ((a, grad * np.where(a.data > 0, 1.0, slope)),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def absolute(x: ArrayLike) -> Tensor:
+    """Elementwise absolute value (subgradient 0 at the kink).
+
+    Used by the DCMT counterfactual regularizer
+    ``|1 - (r_hat + r_hat*)|`` (Eq. (9) in the paper).
+    """
+    x = _as_tensor(x)
+    out_data = np.abs(x.data)
+
+    def backward(grad: np.ndarray, a=x) -> Iterable:
+        return ((a, grad * np.sign(a.data)),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def clip(x: ArrayLike, low: float, high: float) -> Tensor:
+    """Clip values to ``[low, high]`` with straight-through-zero gradient.
+
+    Gradients are passed through only where the input is strictly inside
+    the interval (standard clip gradient).  The paper clips propensities
+    ``o_hat`` away from 0 and 1 to avoid NaN losses (Section III-F).
+    """
+    x = _as_tensor(x)
+    out_data = np.clip(x.data, low, high)
+
+    def backward(grad: np.ndarray, a=x, lo=low, hi=high) -> Iterable:
+        mask = (a.data >= lo) & (a.data <= hi)
+        return ((a, grad * mask),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def maximum(x: ArrayLike, y: ArrayLike) -> Tensor:
+    """Elementwise maximum (gradient routed to the larger input)."""
+    x, y = _as_tensor(x), _as_tensor(y)
+    out_data = np.maximum(x.data, y.data)
+
+    def backward(grad: np.ndarray, a=x, b=y) -> Iterable:
+        choose_a = a.data >= b.data
+        return (
+            (a, unbroadcast(grad * choose_a, a.shape)),
+            (b, unbroadcast(grad * (~choose_a), b.shape)),
+        )
+
+    return Tensor._make(out_data, (x, y), backward)
+
+
+def where(condition: ArrayLike, x: ArrayLike, y: ArrayLike) -> Tensor:
+    """Differentiable ``numpy.where`` (condition carries no gradient)."""
+    cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
+    x, y = _as_tensor(x), _as_tensor(y)
+    out_data = np.where(cond, x.data, y.data)
+
+    def backward(grad: np.ndarray, a=x, b=y, c=cond) -> Iterable:
+        return (
+            (a, unbroadcast(grad * c, a.shape)),
+            (b, unbroadcast(grad * (~np.asarray(c, dtype=bool)), b.shape)),
+        )
+
+    return Tensor._make(out_data, (x, y), backward)
+
+
+def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
+    """Concatenate tensors along ``axis``."""
+    ts = [_as_tensor(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in ts], axis=axis)
+    sizes = [t.data.shape[axis] for t in ts]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray, parts=ts, offs=offsets, ax=axis) -> Iterable:
+        result = []
+        for i, part in enumerate(parts):
+            slicer = [slice(None)] * grad.ndim
+            slicer[ax] = slice(offs[i], offs[i + 1])
+            result.append((part, grad[tuple(slicer)]))
+        return result
+
+    return Tensor._make(out_data, tuple(ts), backward)
+
+
+def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis."""
+    ts = [_as_tensor(t) for t in tensors]
+    out_data = np.stack([t.data for t in ts], axis=axis)
+
+    def backward(grad: np.ndarray, parts=ts, ax=axis) -> Iterable:
+        return [
+            (part, np.take(grad, i, axis=ax)) for i, part in enumerate(parts)
+        ]
+
+    return Tensor._make(out_data, tuple(ts), backward)
+
+
+def take_rows(table: ArrayLike, indices: np.ndarray) -> Tensor:
+    """Gather rows of a 2-D ``table`` by integer ``indices``.
+
+    This is the embedding-lookup primitive.  The backward pass scatters
+    gradients with ``np.add.at`` so duplicate indices accumulate.
+    """
+    table = _as_tensor(table)
+    idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise TypeError(f"indices must be integers, got {idx.dtype}")
+    out_data = table.data[idx]
+
+    def backward(grad: np.ndarray, t=table, i=idx) -> Iterable:
+        full = np.zeros_like(t.data)
+        np.add.at(full, i, grad)
+        return ((t, full),)
+
+    return Tensor._make(out_data, (table,), backward)
+
+
+def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` (used by MMoE/PLE gates)."""
+    x = _as_tensor(x)
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray, a=x, out=out_data, ax=axis) -> Iterable:
+        dot = (grad * out).sum(axis=ax, keepdims=True)
+        return ((a, out * (grad - dot)),)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def dropout_mask(
+    shape: Sequence[int], rate: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample an inverted-dropout mask (scales kept units by 1/(1-rate))."""
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+    if rate == 0.0:
+        return np.ones(shape)
+    keep = rng.random(shape) >= rate
+    return keep / (1.0 - rate)
+
+
+def squeeze(x: ArrayLike, axis: Optional[int] = None) -> Tensor:
+    """Remove a singleton axis (all singleton axes when ``axis`` is None)."""
+    x = _as_tensor(x)
+    out_data = np.squeeze(x.data, axis=axis)
+
+    def backward(grad: np.ndarray, a=x) -> Iterable:
+        return ((a, grad.reshape(a.shape)),)
+
+    return Tensor._make(out_data, (x,), backward)

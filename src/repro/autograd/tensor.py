@@ -1,0 +1,432 @@
+"""The ``Tensor`` class: a numpy array with reverse-mode autodiff.
+
+The design follows the classic define-by-run pattern: every operation on
+``Tensor`` objects records its inputs and a closure that propagates the
+output gradient to the input gradients.  Calling :meth:`Tensor.backward`
+on a scalar output walks the recorded graph in reverse topological order
+and accumulates ``.grad`` on every tensor with ``requires_grad=True``.
+
+Broadcasting is fully supported; gradients flowing back through a
+broadcast are summed over the broadcast axes (see
+:func:`unbroadcast`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables graph recording.
+
+    Used during evaluation/inference so that forward passes do not build
+    (and retain) a backward graph.
+    """
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def grad_enabled() -> bool:
+    """Return whether graph recording is currently enabled."""
+    return _GRAD_ENABLED
+
+
+def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` so it matches ``shape`` after a broadcast.
+
+    numpy broadcasting may (a) prepend dimensions and (b) stretch
+    singleton dimensions.  The gradient of a broadcast is the sum over
+    every stretched or prepended axis.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum over prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched singleton axes.
+    axes = tuple(
+        axis for axis, size in enumerate(shape) if size == 1 and grad.shape[axis] != 1
+    )
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array that records operations for reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Anything convertible to a numpy array.  Integer arrays are kept
+        as-is (useful for indices); everything else is converted to
+        ``float64`` by default.
+    requires_grad:
+        Whether gradients should be accumulated for this tensor.
+    name:
+        Optional human-readable name used in error messages.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+        dtype: Optional[np.dtype] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        array = np.asarray(data)
+        if dtype is not None:
+            array = array.astype(dtype)
+        elif not np.issubdtype(array.dtype, np.floating) and not np.issubdtype(
+            array.dtype, np.integer
+        ):
+            array = array.astype(np.float64)
+        elif np.issubdtype(array.dtype, np.floating) and array.dtype != np.float64:
+            array = array.astype(np.float64)
+        self.data: np.ndarray = array
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad: bool = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+        if self.requires_grad and np.issubdtype(array.dtype, np.integer):
+            raise TypeError("integer tensors cannot require gradients")
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        label = f" name={self.name!r}" if self.name else ""
+        grad = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad}{label})\n{self.data!r}"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a single-element tensor as a float."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else _raise_item()
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        """Create an output tensor, wiring the backward closure if needed."""
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into ``self.grad`` (allocating on first use)."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to ones (the usual convention: the tensor must
+        then be a scalar loss, otherwise the implicit seed of ones is
+        almost never what the caller wants, so we require scalars).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a scalar "
+                    f"tensor, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=self.data.dtype)
+            if grad.shape != self.data.shape:
+                raise ValueError(
+                    f"gradient shape {grad.shape} does not match tensor shape "
+                    f"{self.shape}"
+                )
+
+        topo = _topological_order(self)
+        grads = {id(self): grad}
+        self._accumulate(grad)
+        for node in topo:
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None or node._backward is None:
+                continue
+            parent_grads = _collect_parent_grads(node, node_grad)
+            for parent, pgrad in parent_grads:
+                if not parent.requires_grad:
+                    continue
+                parent._accumulate(pgrad)
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (broadcast-aware)
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray, a=self, b=other) -> Iterable:
+            return (
+                (a, unbroadcast(grad, a.shape)),
+                (b, unbroadcast(grad, b.shape)),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad: np.ndarray, a=self) -> Iterable:
+            return ((a, -grad),)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-_as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return _as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray, a=self, b=other) -> Iterable:
+            return (
+                (a, unbroadcast(grad * b.data, a.shape)),
+                (b, unbroadcast(grad * a.data, b.shape)),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray, a=self, b=other) -> Iterable:
+            return (
+                (a, unbroadcast(grad / b.data, a.shape)),
+                (b, unbroadcast(-grad * a.data / (b.data**2), b.shape)),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return _as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if isinstance(exponent, Tensor):
+            raise TypeError("tensor exponents are not supported; use exp/log")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray, a=self, n=exponent) -> Iterable:
+            return ((a, grad * n * a.data ** (n - 1)),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = _as_tensor(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray, a=self, b=other) -> Iterable:
+            if a.ndim == 2 and b.ndim == 2:
+                return (
+                    (a, grad @ b.data.T),
+                    (b, a.data.T @ grad),
+                )
+            # General case via swapaxes; covers batched matmul.
+            grad_a = grad @ np.swapaxes(b.data, -1, -2)
+            grad_b = np.swapaxes(a.data, -1, -2) @ grad
+            return (
+                (a, unbroadcast(grad_a, a.shape)),
+                (b, unbroadcast(grad_b, b.shape)),
+            )
+
+        return Tensor._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray, a=self) -> Iterable:
+            return ((a, grad.reshape(a.shape)),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_tuple = axes if axes else tuple(reversed(range(self.ndim)))
+        out_data = self.data.transpose(axes_tuple)
+        inverse = tuple(np.argsort(axes_tuple))
+
+        def backward(grad: np.ndarray, a=self, inv=inverse) -> Iterable:
+            return ((a, grad.transpose(inv)),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        out_data = self.data[index]
+
+        def backward(grad: np.ndarray, a=self, idx=index) -> Iterable:
+            full = np.zeros_like(a.data)
+            np.add.at(full, idx, grad)
+            return ((a, full),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray, a=self, ax=axis, kd=keepdims) -> Iterable:
+            g = grad
+            if ax is not None and not kd:
+                g = np.expand_dims(g, ax)
+            return ((a, np.broadcast_to(g, a.shape).copy()),)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    # Comparison helpers return plain numpy arrays (no gradients flow
+    # through comparisons).
+    def __gt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: ArrayLike) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: ArrayLike) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: ArrayLike) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+
+def _raise_item() -> float:
+    raise ValueError("item() only works on single-element tensors")
+
+
+def _as_tensor(value: ArrayLike) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    return value.data if isinstance(value, Tensor) else np.asarray(value)
+
+
+def _collect_parent_grads(
+    node: Tensor, grad: np.ndarray
+) -> List[Tuple[Tensor, np.ndarray]]:
+    """Invoke a node's backward closure and normalise its output."""
+    result = node._backward(grad)
+    return [(parent, pgrad) for parent, pgrad in result]
+
+
+def _topological_order(root: Tensor) -> List[Tensor]:
+    """Return tensors reachable from ``root`` in reverse topological order.
+
+    Iterative DFS (recursion would overflow on deep MLP graphs).
+    """
+    order: List[Tensor] = []
+    visited = set()
+    stack: List[Tuple[Tensor, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+            continue
+        if id(node) in visited:
+            continue
+        visited.add(id(node))
+        stack.append((node, True))
+        for parent in node._parents:
+            if id(parent) not in visited:
+                stack.append((parent, False))
+    order.reverse()
+    return order
+
+
+def tensor(
+    data: ArrayLike, requires_grad: bool = False, name: Optional[str] = None
+) -> Tensor:
+    """Convenience constructor mirroring ``numpy.array``."""
+    return Tensor(data, requires_grad=requires_grad, name=name)

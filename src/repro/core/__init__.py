@@ -1,0 +1,39 @@
+"""The paper's primary contribution: the DCMT framework.
+
+* :class:`~repro.core.twin_tower.TwinTower` -- the wide&deep twin tower
+  of Fig. 6: a shared deep trunk (``theta_d``) with factual and
+  counterfactual heads (``theta_f``, ``theta_cf``) plus per-head wide
+  linear parts.
+* :mod:`~repro.core.losses` -- the entire-space CVR losses: the naive
+  propensity-debiased loss of Eq. (7) (DCMT_PD), the counterfactual
+  loss of Eq. (8), the soft counterfactual regularizer of Eq. (9), and
+  the SNIPS self-normalised weights of Eq. (13).
+* :class:`~repro.core.dcmt.DCMT` -- the full model (Eq. (14)), with
+  ``variant`` switches for the paper's ablations DCMT_PD / DCMT_CF and
+  a ``constraint="hard"`` mode reproducing Fig. 8(d).
+* :mod:`~repro.core.theory` -- a numerical verification of Theorem
+  III.1 (unbiasedness of the DCMT risk).
+"""
+
+from repro.core.twin_tower import TwinTower
+from repro.core.dcmt import DCMT
+from repro.core.losses import (
+    counterfactual_regularizer,
+    dcmt_cvr_loss,
+    entire_space_ipw_loss,
+    snips_weights,
+)
+from repro.core import theory
+from repro.core.strategies import STRATEGIES, counterfactual_targets
+
+__all__ = [
+    "TwinTower",
+    "DCMT",
+    "dcmt_cvr_loss",
+    "entire_space_ipw_loss",
+    "counterfactual_regularizer",
+    "snips_weights",
+    "theory",
+    "STRATEGIES",
+    "counterfactual_targets",
+]

@@ -1,0 +1,198 @@
+"""DCMT: the Direct entire-space Causal Multi-Task framework (Fig. 3).
+
+Components (Section III-A):
+
+* shared :class:`~repro.models.components.FeatureEmbedding` split into
+  deep and wide embeddings;
+* a wide&deep **CTR tower** predicting the click propensity ``o_hat``;
+* the **twin CVR tower** predicting the factual CVR ``r_hat`` and the
+  counterfactual CVR ``r_hat*``;
+* the **CTCVR head** ``t_hat = o_hat * r_hat``.
+
+Training loss (Eq. (14))::
+
+    L = E_CTR + w_cvr * E_DCMT + w_ctcvr * E_CTCVR  (+ lambda_2 ||theta||^2)
+
+where ``E_DCMT`` is the entire-space counterfactual CVR loss of
+Eq. (9) with SNIPS weights (Eq. (13)).  The L2 term is applied through
+the optimizer's ``weight_decay`` (mathematically identical, cheaper).
+
+Variants:
+
+* ``variant="full"`` -- the complete DCMT;
+* ``variant="pd"``   -- DCMT_PD ablation: propensity-based debiasing
+  over ``D`` only (Eq. (7)), no counterfactual head in the loss;
+* ``variant="cf"``   -- DCMT_CF ablation: counterfactual mechanism
+  without inverse-propensity weights.
+
+``constraint="hard"`` renormalises the twin predictions so that
+``r_hat + r_hat* = 1`` exactly (and drops the regularizer), the
+configuration the paper shows to be harmful in Fig. 8(c)/(d).  Our
+projection enforces the constraint exactly and reproduces the AUC
+damage of Fig. 8(c); the narrow-band prediction collapse of Fig. 8(d)
+is specific to the authors' implementation and does not occur here
+(see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional
+from repro.autograd.tensor import Tensor
+from repro.core.strategies import STRATEGIES, counterfactual_targets
+from repro.core.losses import dcmt_cvr_loss, entire_space_ipw_loss
+from repro.core.twin_tower import TwinTower
+from repro.data.dataset import Batch
+from repro.data.schema import FeatureSchema
+from repro.models.base import ModelConfig, MultiTaskModel
+from repro.models.components import FeatureEmbedding, WideDeepTower, probability
+
+VARIANTS = ("full", "pd", "cf")
+CONSTRAINTS = ("soft", "hard")
+
+
+class DCMT(MultiTaskModel):
+    """The DCMT model and its ablation variants.
+
+    Parameters
+    ----------
+    schema, config:
+        Feature inventory and shared hyper-parameters.
+    variant:
+        ``"full"``, ``"pd"`` or ``"cf"`` (Table III, "Our methods").
+    lambda1:
+        Weight of the counterfactual regularizer.  The paper reports
+        0.001 as the optimum (Fig. 8(c)) under its unnormalised loss
+        scale; with this implementation's SNIPS-normalised O(1) loss
+        terms the equivalent optimum sits near 2.0 (see the Fig. 8(c)
+        reproduction in ``benchmarks/``), hence the default.
+    use_snips:
+        Apply the self-normalisation of Eq. (13) (paper: yes).
+    constraint:
+        ``"soft"`` (regularizer) or ``"hard"`` (force
+        ``r_hat + r_hat* = 1``; Fig. 8(d) failure mode).
+    cf_strategy:
+        Counterfactual supervision strategy for the ``N*`` term (see
+        :mod:`repro.core.strategies`): ``"mirror"`` (the paper),
+        ``"smoothed"``, ``"self_imputed"`` or ``"confidence_gated"``.
+    cf_epsilon:
+        Label smoothing amount for ``cf_strategy="smoothed"``.
+    """
+
+    def __init__(
+        self,
+        schema: FeatureSchema,
+        config: ModelConfig,
+        variant: str = "full",
+        lambda1: float = 2.0,
+        use_snips: bool = True,
+        constraint: str = "soft",
+        cf_strategy: str = "mirror",
+        cf_epsilon: float = 0.1,
+    ) -> None:
+        super().__init__(config)
+        if variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+        if constraint not in CONSTRAINTS:
+            raise ValueError(
+                f"constraint must be one of {CONSTRAINTS}, got {constraint!r}"
+            )
+        if lambda1 < 0:
+            raise ValueError(f"lambda1 must be >= 0, got {lambda1}")
+        if cf_strategy not in STRATEGIES:
+            raise ValueError(
+                f"cf_strategy must be one of {STRATEGIES}, "
+                f"got {cf_strategy!r}"
+            )
+        self.variant = variant
+        self.model_name = "dcmt" if variant == "full" else f"dcmt_{variant}"
+        self.lambda1 = lambda1
+        self.use_snips = use_snips
+        self.constraint = constraint
+        self.cf_strategy = cf_strategy
+        self.cf_epsilon = cf_epsilon
+
+        rng = np.random.default_rng(config.seed)
+        self.embedding = FeatureEmbedding(schema, config.embedding_dim, rng)
+        self.ctr_tower = WideDeepTower(
+            deep_width=self.embedding.deep_width,
+            wide_width=self.embedding.wide_width,
+            hidden_sizes=config.hidden_sizes,
+            rng=rng,
+            activation=config.activation,
+            dropout=config.dropout,
+        )
+        self.twin_tower = TwinTower(
+            deep_width=self.embedding.deep_width,
+            wide_width=self.embedding.wide_width,
+            hidden_sizes=config.hidden_sizes,
+            rng=rng,
+            activation=config.activation,
+            dropout=config.dropout,
+        )
+
+    # ------------------------------------------------------------------
+    def forward_tensors(self, batch: Batch):
+        deep, wide = self.embedding(batch)
+        ctr = probability(self.ctr_tower(deep, wide))
+        cvr, cvr_cf = self.twin_tower(deep, wide)
+        if self.constraint == "hard":
+            # Force r_hat + r_hat* = 1 by projection (Fig. 8(d) setup).
+            total = cvr + cvr_cf
+            cvr = cvr / total
+            cvr_cf = cvr_cf / total
+        return {
+            "ctr": ctr,
+            "cvr": cvr,
+            "cvr_counterfactual": cvr_cf,
+            "ctcvr": ctr * cvr,
+        }
+
+    # ------------------------------------------------------------------
+    def cvr_task_loss(self, outputs, batch: Batch) -> Tensor:
+        """The E_DCMT term (variant-dependent)."""
+        propensity = outputs["ctr"].data  # detached: importance weights
+        if self.variant == "pd":
+            return entire_space_ipw_loss(
+                outputs["cvr"],
+                batch.clicks,
+                batch.conversions,
+                propensity,
+                floor=self.config.propensity_floor,
+                use_snips=self.use_snips,
+            )
+        # "full" uses propensity weights, "cf" does not.
+        lambda1 = 0.0 if self.constraint == "hard" else self.lambda1
+        cf_labels, cf_scale = counterfactual_targets(
+            self.cf_strategy,
+            batch.conversions,
+            outputs["cvr"].data,  # detached factual predictions
+            epsilon=self.cf_epsilon,
+        )
+        return dcmt_cvr_loss(
+            outputs["cvr"],
+            outputs["cvr_counterfactual"],
+            batch.clicks,
+            batch.conversions,
+            propensity,
+            lambda1=lambda1,
+            floor=self.config.propensity_floor,
+            use_snips=self.use_snips,
+            use_propensity=(self.variant == "full"),
+            counterfactual_labels=cf_labels,
+            counterfactual_weight_scale=cf_scale,
+        )
+
+    def loss(self, batch: Batch) -> Tensor:
+        outputs = self.forward_tensors(batch)
+        ctr_loss = functional.binary_cross_entropy(outputs["ctr"], batch.clicks)
+        cvr_loss = self.cvr_task_loss(outputs, batch)
+        ctcvr_loss = functional.binary_cross_entropy(
+            outputs["ctcvr"], batch.conversions
+        )
+        return (
+            ctr_loss
+            + self.config.cvr_weight * cvr_loss
+            + self.config.ctcvr_weight * ctcvr_loss
+        )

@@ -1,0 +1,164 @@
+"""DCMT loss functions (Eq. (7), (8), (9), (13)).
+
+All importance weights are plain numpy (detached): gradients never flow
+through propensities, matching the stop-gradient treatment of the
+baselines.  Propensities are clipped to ``[floor, 1-floor]`` -- the
+paper clips ``o_hat`` to the open interval (0, 1) to avoid NaN losses
+(Section III-F); a positive floor additionally bounds the weight
+variance.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.autograd import functional, ops
+from repro.autograd.tensor import Tensor
+
+
+def clip_propensity(propensity: np.ndarray, floor: float) -> np.ndarray:
+    """Clip ``o_hat`` into ``[floor, 1 - floor]``."""
+    if not 0.0 < floor < 0.5:
+        raise ValueError(f"propensity floor must be in (0, 0.5), got {floor}")
+    return np.clip(np.asarray(propensity, dtype=float), floor, 1.0 - floor)
+
+
+def snips_weights(
+    clicks: np.ndarray, propensity: np.ndarray, floor: float = 0.03
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Self-normalised inverse propensity weights (Eq. (13)).
+
+    Returns ``(factual_weights, counterfactual_weights)``:
+
+    * factual weights are ``(1/o_hat) / sum_O(1/o_hat)`` on clicked
+      rows, zero elsewhere;
+    * counterfactual weights are ``(1/(1-o_hat)) / sum_N*(1/(1-o_hat))``
+      on non-clicked rows, zero elsewhere.
+
+    Each group sums to exactly 1 (the SNIPS normalisation), which
+    removes the propensity-scale variance of plain IPW.
+    """
+    o = np.asarray(clicks, dtype=float)
+    p = clip_propensity(propensity, floor)
+    raw_f = o / p
+    raw_cf = (1.0 - o) / (1.0 - p)
+    sum_f = raw_f.sum()
+    sum_cf = raw_cf.sum()
+    factual = raw_f / sum_f if sum_f > 0 else raw_f
+    counterfactual = raw_cf / sum_cf if sum_cf > 0 else raw_cf
+    return factual, counterfactual
+
+
+def entire_space_ipw_loss(
+    cvr: Tensor,
+    clicks: np.ndarray,
+    conversions: np.ndarray,
+    propensity: np.ndarray,
+    floor: float = 0.03,
+    use_snips: bool = True,
+) -> Tensor:
+    """Eq. (7): the naive entire-space propensity-debiased loss (DCMT_PD).
+
+    A single (factual) CVR head is trained everywhere: with weight
+    ``1/o_hat`` on clicked rows and ``1/(1-o_hat)`` on non-clicked rows,
+    using the *observed* labels -- which are all 0 in ``N``, i.e. the
+    fake-negative problem the counterfactual mechanism then fixes.
+    """
+    errors = functional.binary_cross_entropy(cvr, conversions, reduction="none")
+    if use_snips:
+        w_f, w_cf = snips_weights(clicks, propensity, floor)
+        weights = w_f + w_cf
+        return functional.weighted_mean(errors, weights, denominator=2.0)
+    o = np.asarray(clicks, dtype=float)
+    p = clip_propensity(propensity, floor)
+    weights = o / p + (1.0 - o) / (1.0 - p)
+    return functional.weighted_mean(errors, weights, denominator=float(len(o)))
+
+
+def counterfactual_regularizer(cvr: Tensor, cvr_cf: Tensor) -> Tensor:
+    """The soft constraint ``mean_D |1 - (r_hat + r_hat*)|`` of Eq. (9)."""
+    return ops.absolute(1.0 - (cvr + cvr_cf)).mean()
+
+
+def dcmt_cvr_loss(
+    cvr: Tensor,
+    cvr_cf: Tensor,
+    clicks: np.ndarray,
+    conversions: np.ndarray,
+    propensity: np.ndarray,
+    lambda1: float = 0.001,
+    floor: float = 0.03,
+    use_snips: bool = True,
+    use_propensity: bool = True,
+    counterfactual_labels: np.ndarray = None,
+    counterfactual_weight_scale: np.ndarray = None,
+) -> Tensor:
+    """The full DCMT CVR loss (Eq. (9) with the Eq. (13) weights).
+
+    Three terms:
+
+    1. factual loss in ``O``: ``e(r, r_hat) / o_hat``;
+    2. counterfactual loss in ``N*``: ``e(r*, r_hat*) / (1 - o_hat)``
+       with the mirrored label ``r* = 1 - r`` (``= 1`` in ``N``);
+    3. the soft counterfactual regularizer weighted by ``lambda1``.
+
+    ``use_propensity=False`` gives the DCMT_CF ablation: uniform weights
+    inside each space (the counterfactual mechanism without
+    propensity-based debiasing).
+
+    ``counterfactual_labels`` / ``counterfactual_weight_scale``
+    override the mirror labels and per-sample weights of term 2 --
+    the hook used by :mod:`repro.core.strategies` (the paper's
+    future-work study of alternative counterfactual strategies).
+    """
+    o = np.asarray(clicks, dtype=float)
+    n = float(len(o))
+    factual_errors = functional.binary_cross_entropy(
+        cvr, conversions, reduction="none"
+    )
+    if counterfactual_labels is None:
+        counterfactual_labels = 1.0 - np.asarray(conversions, dtype=float)
+    counterfactual_errors = functional.binary_cross_entropy(
+        cvr_cf, counterfactual_labels, reduction="none"
+    )
+    scale = (
+        np.ones_like(o)
+        if counterfactual_weight_scale is None
+        else np.asarray(counterfactual_weight_scale, dtype=float)
+    )
+
+    if use_propensity:
+        if use_snips:
+            w_f, w_cf = snips_weights(o, propensity, floor)
+            factual_term = functional.weighted_mean(
+                factual_errors, w_f, denominator=1.0
+            )
+            counterfactual_term = functional.weighted_mean(
+                counterfactual_errors, w_cf * scale, denominator=1.0
+            )
+        else:
+            p = clip_propensity(propensity, floor)
+            factual_term = functional.weighted_mean(
+                factual_errors, o / p, denominator=n
+            )
+            counterfactual_term = functional.weighted_mean(
+                counterfactual_errors,
+                scale * (1.0 - o) / (1.0 - p),
+                denominator=n,
+            )
+    else:
+        n_clicked = max(o.sum(), 1.0)
+        n_unclicked = max((1.0 - o).sum(), 1.0)
+        factual_term = functional.weighted_mean(
+            factual_errors, o, denominator=n_clicked
+        )
+        counterfactual_term = functional.weighted_mean(
+            counterfactual_errors, scale * (1.0 - o), denominator=n_unclicked
+        )
+
+    loss = factual_term + counterfactual_term
+    if lambda1 > 0:
+        loss = loss + lambda1 * counterfactual_regularizer(cvr, cvr_cf)
+    return loss

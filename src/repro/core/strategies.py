@@ -1,0 +1,81 @@
+"""Alternative counterfactual strategies (the paper's future work).
+
+The paper's conclusion: *"In the future, we plan to study the effect of
+different counterfactual strategies on our DCMT's performance."*  This
+module implements that study.  A strategy decides, for every exposure
+in the non-click space ``N``, what label the counterfactual head is
+supervised toward and how strongly:
+
+* ``mirror`` -- the paper's mechanism: the counterfactual sample is the
+  exact mirror of the factual one, label ``r* = 1 - r`` (always 1 in
+  ``N``), full weight.  Simple, but supervises *fake negatives* (items
+  the user would have bought) toward "non-conversion" at full strength.
+* ``smoothed`` -- mirror labels smoothed toward 0.5 by ``epsilon``:
+  ``r* = 1 - epsilon`` in ``N``.  A blunt instrument against fake
+  negatives that does not use the model's own beliefs.
+* ``self_imputed`` -- the counterfactual label is built from the
+  factual head's *detached* prediction: ``r* = 1 - r_hat``.  Exposures
+  the model already believes would convert are no longer dragged
+  toward "non-conversion"; this is the self-training analogue of the
+  DR imputation tower.
+* ``confidence_gated`` -- mirror labels, but each non-click exposure's
+  weight is scaled by ``1 - r_hat`` (detached): probable fake negatives
+  keep their label yet lose influence.
+
+All strategies leave the factual loss and the soft counterfactual
+regularizer untouched; they only modify the ``N*`` term of Eq. (9).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+STRATEGIES = ("mirror", "smoothed", "self_imputed", "confidence_gated")
+
+
+def counterfactual_targets(
+    strategy: str,
+    conversions: np.ndarray,
+    factual_predictions: np.ndarray,
+    epsilon: float = 0.1,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Counterfactual labels and weight scales for the ``N*`` loss term.
+
+    Parameters
+    ----------
+    strategy:
+        One of :data:`STRATEGIES`.
+    conversions:
+        Observed conversion labels ``r`` (used by the mirror).
+    factual_predictions:
+        Detached factual-head predictions ``r_hat`` (numpy array); used
+        by the model-aware strategies.
+    epsilon:
+        Smoothing amount for ``"smoothed"`` (ignored elsewhere).
+
+    Returns
+    -------
+    (labels, weight_scale)
+        Per-sample counterfactual labels in ``[0, 1]`` and multiplicative
+        weight scales (1 everywhere except ``confidence_gated``).  Both
+        arrays cover the whole batch; the loss masks them to ``N``.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(f"strategy must be one of {STRATEGIES}, got {strategy!r}")
+    if not 0.0 <= epsilon < 0.5:
+        raise ValueError(f"epsilon must be in [0, 0.5), got {epsilon}")
+    r = np.asarray(conversions, dtype=float)
+    r_hat = np.clip(np.asarray(factual_predictions, dtype=float), 0.0, 1.0)
+    ones = np.ones_like(r)
+
+    if strategy == "mirror":
+        return 1.0 - r, ones
+    if strategy == "smoothed":
+        labels = np.clip(1.0 - r, epsilon, 1.0 - epsilon)
+        return labels, ones
+    if strategy == "self_imputed":
+        return 1.0 - r_hat, ones
+    # confidence_gated
+    return 1.0 - r, 1.0 - r_hat

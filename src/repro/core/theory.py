@@ -1,0 +1,126 @@
+"""Numerical verification of Theorem III.1 and the Section II analysis.
+
+Theorem III.1 states that the DCMT CVR risk is unbiased over ``D``,
+``Bias = |E^DCMT - E^ground-truth| = 0``, under two conditions:
+
+1. ``o_ij = ô_ij`` -- read literally (as the paper does right below the
+   theorem statement): the propensity prediction is *exact per
+   realisation*, i.e. ``ô = 1`` on the click space and ``ô = 0`` on the
+   non-click space;
+2. ``r̂ + r̂* = 1`` -- the counterfactual prior holds exactly, so the
+   regularizer vanishes and ``e(1-r, r̂*) = e(r, r̂)`` (log-loss
+   mirror identity).
+
+Under these conditions the DCMT risk equals the ground-truth risk of
+Eq. (1) *identically* (not just in expectation):
+:func:`theorem_iii1_bias` verifies this.
+
+A sharper observation, also verified here
+(:func:`stochastic_propensity_scaling`): when ``ô`` equals the true
+*stochastic* propensity ``p`` (the usual IPW setting) and clicks are
+resampled, the factual and counterfactual terms each converge to one
+full copy of the ground-truth risk, so ``E[E^DCMT] = 2 x
+E^ground-truth``.  The constant factor does not move the minimiser, so
+the estimator remains minimiser-consistent -- but exact unbiasedness
+really does require the theorem's degenerate-propensity reading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.causal import ideal_risk, log_loss_elementwise
+
+_EPS = 1e-12
+
+
+def dcmt_risk(
+    clicks: np.ndarray,
+    observed_labels: np.ndarray,
+    cvr_pred: np.ndarray,
+    cvr_cf_pred: np.ndarray,
+    propensity: np.ndarray,
+    lambda1: float = 0.0,
+) -> float:
+    """Eq. (9) evaluated in numpy (no SNIPS; the theorem's form).
+
+    ``observed_labels`` are the observed conversions ``r`` (zero in the
+    non-click space); the counterfactual term uses the mirrored labels
+    ``r* = 1 - r``.
+    """
+    o = np.asarray(clicks, dtype=float)
+    r = np.asarray(observed_labels, dtype=float)
+    p = np.clip(np.asarray(propensity, dtype=float), _EPS, 1.0 - _EPS)
+    n = len(o)
+
+    factual = o * log_loss_elementwise(r, cvr_pred) / p
+    counterfactual = (1.0 - o) * log_loss_elementwise(1.0 - r, cvr_cf_pred) / (1.0 - p)
+    regularizer = lambda1 * np.abs(1.0 - (cvr_pred + cvr_cf_pred))
+    return float((factual + counterfactual + regularizer).sum() / n)
+
+
+def theorem_iii1_bias(
+    clicks: np.ndarray,
+    potential_labels: np.ndarray,
+    cvr_pred: np.ndarray,
+) -> float:
+    """Bias of the DCMT risk under the theorem's exact conditions.
+
+    Condition 1: ``ô = o`` per realisation (propensity 1 on clicks, 0
+    elsewhere; clipped infinitesimally for the division).  Condition 2:
+    ``r̂* = 1 - r̂``.  Returns ``|E^DCMT - E^ground-truth|``, which the
+    theorem says is zero -- and it is, identically, for every click
+    realisation.
+    """
+    o = np.asarray(clicks, dtype=float)
+    r_do = np.asarray(potential_labels, dtype=float)
+    cvr_cf = 1.0 - np.asarray(cvr_pred, dtype=float)
+    # The theorem treats r_ij as the same quantity in E^DCMT and in the
+    # ground truth, i.e. it assumes the conversion labels in N are the
+    # true potential outcomes.  The gap between that assumption and the
+    # all-zero observed labels in N is precisely the fake-negative
+    # problem that the counterfactual regularizer targets in practice
+    # (see test_fake_negatives_break_the_theorem).
+    risk = dcmt_risk(o, r_do, cvr_pred, cvr_cf, propensity=o, lambda1=0.0)
+    truth = ideal_risk(r_do, cvr_pred)
+    return abs(risk - truth)
+
+
+def stochastic_propensity_scaling(
+    potential_labels: np.ndarray,
+    cvr_pred: np.ndarray,
+    propensity: np.ndarray,
+    rng: np.random.Generator,
+    n_rounds: int = 500,
+) -> float:
+    """Monte-Carlo ``E[E^DCMT] / E^ground-truth`` under stochastic ``ô = p``.
+
+    With the counterfactual prior satisfied, the ratio converges to 2:
+    each of the factual and counterfactual IPW terms is an unbiased
+    estimator of the *full* entire-space risk.  (The paper's theorem
+    avoids the factor by reading ``o = ô`` as degenerate propensities.)
+    """
+    r_do = np.asarray(potential_labels, dtype=float)
+    p = np.asarray(propensity, dtype=float)
+    cvr_cf = 1.0 - np.asarray(cvr_pred, dtype=float)
+    risks = np.empty(n_rounds)
+    for i in range(n_rounds):
+        clicks = (rng.random(len(p)) < p).astype(float)
+        risks[i] = dcmt_risk(clicks, r_do, cvr_pred, cvr_cf, p, lambda1=0.0)
+    return float(risks.mean() / ideal_risk(r_do, cvr_pred))
+
+
+def counterfactual_identity_gap(
+    labels: np.ndarray, cvr_pred: np.ndarray
+) -> float:
+    """The algebraic identity behind the theorem.
+
+    When ``r̂* = 1 - r̂``, the counterfactual log-loss on the mirrored
+    label equals the factual log-loss on the original label:
+    ``e(1-r, 1-r̂) = e(r, r̂)``.  Returns the max abs violation (zero up
+    to floating-point error).
+    """
+    r = np.asarray(labels, dtype=float)
+    lhs = log_loss_elementwise(1.0 - r, 1.0 - np.asarray(cvr_pred, dtype=float))
+    rhs = log_loss_elementwise(r, cvr_pred)
+    return float(np.max(np.abs(lhs - rhs)))

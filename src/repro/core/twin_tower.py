@@ -1,0 +1,94 @@
+"""The twin tower of DCMT (Fig. 6, Eq. (11)-(12)).
+
+Simulates the decision process of conversion: *common* parameters
+(``theta_d``, the shared deep trunk) represent shared reasoning over
+the input, while *specific* parameters (``theta_f`` / ``theta_cf``)
+represent the divergent final decisions -- conversion vs
+non-conversion.
+
+Wide&deep form (Eq. (12))::
+
+    r_hat    = sigmoid( phi(x_w; theta_f_w)  + psi(x_d; theta_d, theta_f_d) )
+    r_hat*   = sigmoid( phi(x_w; theta_cf_w) + psi(x_d; theta_d, theta_cf_d) )
+
+where ``phi`` is linear regression on the wide embedding and ``psi``
+shares all hidden layers (``theta_d``) and differs only in the final
+projection.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.linear import Linear
+from repro.nn.mlp import MLP
+from repro.nn.module import Module
+
+
+class TwinTower(Module):
+    """Factual + counterfactual CVR heads over a shared deep trunk.
+
+    Parameters
+    ----------
+    deep_width / wide_width:
+        Widths of the deep and wide feature embeddings (``wide_width=0``
+        degenerates to a pure deep twin tower).
+    hidden_sizes:
+        Shared trunk sizes, e.g. the paper's [64, 64, 32].
+    rng:
+        Initialization generator.
+    """
+
+    def __init__(
+        self,
+        deep_width: int,
+        wide_width: int,
+        hidden_sizes: Sequence[int],
+        rng: np.random.Generator,
+        activation: str = "relu",
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if not hidden_sizes:
+            raise ValueError("twin tower needs at least one shared hidden layer")
+        # theta_d: common deep trunk.
+        self.trunk = MLP(
+            deep_width,
+            list(hidden_sizes),
+            rng,
+            activation=activation,
+            dropout=dropout,
+        )
+        trunk_width = self.trunk.out_width
+        # theta_f_d / theta_cf_d: specific deep projections.
+        self.head_factual = Linear(trunk_width, 1, rng, weight_init="xavier_uniform")
+        self.head_counterfactual = Linear(
+            trunk_width, 1, rng, weight_init="xavier_uniform"
+        )
+        # theta_f_w / theta_cf_w: specific wide (linear) parts.
+        self.wide_factual: Optional[Linear] = (
+            Linear(wide_width, 1, rng, weight_init="xavier_uniform")
+            if wide_width > 0
+            else None
+        )
+        self.wide_counterfactual: Optional[Linear] = (
+            Linear(wide_width, 1, rng, weight_init="xavier_uniform")
+            if wide_width > 0
+            else None
+        )
+
+    def forward(
+        self, deep: Tensor, wide: Optional[Tensor]
+    ) -> Tuple[Tensor, Tensor]:
+        """Return ``(factual_cvr, counterfactual_cvr)`` probabilities."""
+        shared = self.trunk(deep)
+        logit_f = ops.squeeze(self.head_factual(shared), axis=1)
+        logit_cf = ops.squeeze(self.head_counterfactual(shared), axis=1)
+        if wide is not None and self.wide_factual is not None:
+            logit_f = logit_f + ops.squeeze(self.wide_factual(wide), axis=1)
+            logit_cf = logit_cf + ops.squeeze(self.wide_counterfactual(wide), axis=1)
+        return ops.sigmoid(logit_f), ops.sigmoid(logit_cf)

@@ -1,0 +1,54 @@
+"""Mini-batch iteration over interaction datasets."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.data.dataset import Batch, InteractionDataset
+
+
+def batch_iterator(
+    dataset: InteractionDataset,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+    shuffle: bool = True,
+    drop_last: bool = False,
+) -> Iterator[Batch]:
+    """Yield mini-batches over ``dataset``.
+
+    Parameters
+    ----------
+    dataset:
+        The exposure log to iterate.
+    batch_size:
+        Paper default is 1024 (Section IV-A2).
+    rng:
+        Required when ``shuffle=True``.
+    shuffle:
+        Randomise row order each pass.
+    drop_last:
+        Drop the final short batch (stabilises batch statistics such as
+        the SNIPS normalisers).
+    """
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    n = len(dataset)
+    if shuffle:
+        if rng is None:
+            raise ValueError("shuffle=True requires an rng")
+        order = rng.permutation(n)
+    else:
+        order = np.arange(n)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        if drop_last and len(idx) < batch_size:
+            break
+        yield Batch(
+            sparse={k: v[idx] for k, v in dataset.sparse.items()},
+            dense={k: v[idx] for k, v in dataset.dense.items()},
+            clicks=dataset.clicks[idx],
+            conversions=dataset.conversions[idx],
+            actions=None if dataset.actions is None else dataset.actions[idx],
+        )

@@ -1,0 +1,195 @@
+"""Dataset containers: exposures with click/conversion labels.
+
+An :class:`InteractionDataset` holds one exposure log (the entire space
+``D`` of the paper): every row is an exposed user-item pair with a
+click label ``o`` and an *observed* conversion label ``r`` (which is 0
+by construction whenever ``o = 0`` -- the paper's "fake negative"
+problem).  Synthetic datasets additionally carry oracle columns (true
+click propensity, true CVR, and the potential-outcome conversion label
+``r(do(o=1))``) that exist only because we control the generator; they
+are used for entire-space evaluation and never shown to models during
+training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.data.schema import FeatureSchema
+
+
+@dataclass
+class Batch:
+    """A mini-batch of exposures handed to models.
+
+    ``sparse``/``dense`` map feature names to arrays of length ``size``.
+    ``conversions`` are the *observed* labels (0 outside the click
+    space).  ``actions`` are optional post-click micro-behaviour labels
+    (cart/favourite; 0 outside the click space) used by ESM2-style
+    behaviour-decomposition models.
+    """
+
+    sparse: Dict[str, np.ndarray]
+    dense: Dict[str, np.ndarray]
+    clicks: np.ndarray
+    conversions: np.ndarray
+    actions: Optional[np.ndarray] = None
+
+    @property
+    def size(self) -> int:
+        return len(self.clicks)
+
+
+@dataclass
+class InteractionDataset:
+    """An exposure log over the entire space ``D``.
+
+    Attributes
+    ----------
+    name:
+        Scenario name (e.g. ``"ae_es"``).
+    schema:
+        Feature inventory; models derive their embedding layers from it.
+    sparse / dense:
+        Feature columns, each of length ``n``.
+    clicks:
+        Click labels ``o`` in {0,1}.
+    conversions:
+        Observed conversion labels ``r`` (0 wherever ``o`` is 0).
+    oracle_ctr / oracle_cvr:
+        True click propensity and true post-click conversion
+        probability per exposure (generator-only knowledge).
+    oracle_conversion:
+        Potential-outcome label ``r(do(o=1))`` per exposure, sampled
+        from ``oracle_cvr``; equals the observed conversion inside the
+        click space.
+    """
+
+    name: str
+    schema: FeatureSchema
+    sparse: Dict[str, np.ndarray]
+    dense: Dict[str, np.ndarray]
+    clicks: np.ndarray
+    conversions: np.ndarray
+    oracle_ctr: Optional[np.ndarray] = None
+    oracle_cvr: Optional[np.ndarray] = None
+    oracle_conversion: Optional[np.ndarray] = None
+    #: Optional post-click micro-behaviour labels (cart/favourite),
+    #: observed only inside the click space -- the intermediate node of
+    #: ESM2's "click -> action -> buy" decomposition.
+    actions: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        n = len(self.clicks)
+        for key, column in {**self.sparse, **self.dense}.items():
+            if len(column) != n:
+                raise ValueError(
+                    f"feature {key!r} has length {len(column)}, expected {n}"
+                )
+        if len(self.conversions) != n:
+            raise ValueError("conversions length mismatch")
+        if np.any((self.conversions == 1) & (self.clicks == 0)):
+            raise ValueError(
+                "observed conversions outside the click space violate the "
+                "exposure->click->conversion behaviour path"
+            )
+        for oracle in (self.oracle_ctr, self.oracle_cvr, self.oracle_conversion):
+            if oracle is not None and len(oracle) != n:
+                raise ValueError("oracle column length mismatch")
+        if self.actions is not None:
+            if len(self.actions) != n:
+                raise ValueError("actions length mismatch")
+            if np.any((self.actions == 1) & (self.clicks == 0)):
+                raise ValueError(
+                    "micro-actions outside the click space violate the "
+                    "click->action behaviour path"
+                )
+        if self.oracle_conversion is not None:
+            clicked = self.clicks == 1
+            if not np.array_equal(
+                self.oracle_conversion[clicked], self.conversions[clicked]
+            ):
+                raise ValueError(
+                    "oracle potential outcomes must agree with observed "
+                    "conversions inside the click space"
+                )
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.clicks)
+
+    @property
+    def n_exposures(self) -> int:
+        return len(self.clicks)
+
+    @property
+    def n_clicks(self) -> int:
+        return int(self.clicks.sum())
+
+    @property
+    def n_conversions(self) -> int:
+        return int(self.conversions.sum())
+
+    @property
+    def ctr(self) -> float:
+        """Marginal click-through rate over ``D``."""
+        return self.n_clicks / max(self.n_exposures, 1)
+
+    @property
+    def cvr_given_click(self) -> float:
+        """Conversion rate inside the click space ``O``."""
+        return self.n_conversions / max(self.n_clicks, 1)
+
+    @property
+    def has_oracle(self) -> bool:
+        return (
+            self.oracle_ctr is not None
+            and self.oracle_cvr is not None
+            and self.oracle_conversion is not None
+        )
+
+    # ------------------------------------------------------------------
+    def subset(self, indices: np.ndarray) -> "InteractionDataset":
+        """Row-subset view (copies columns)."""
+        idx = np.asarray(indices)
+        return InteractionDataset(
+            name=self.name,
+            schema=self.schema,
+            sparse={k: v[idx] for k, v in self.sparse.items()},
+            dense={k: v[idx] for k, v in self.dense.items()},
+            clicks=self.clicks[idx],
+            conversions=self.conversions[idx],
+            oracle_ctr=None if self.oracle_ctr is None else self.oracle_ctr[idx],
+            oracle_cvr=None if self.oracle_cvr is None else self.oracle_cvr[idx],
+            oracle_conversion=(
+                None
+                if self.oracle_conversion is None
+                else self.oracle_conversion[idx]
+            ),
+            actions=None if self.actions is None else self.actions[idx],
+        )
+
+    def click_space(self) -> "InteractionDataset":
+        """The click space ``O`` (conventional CVR training data)."""
+        return self.subset(np.flatnonzero(self.clicks == 1))
+
+    def non_click_space(self) -> "InteractionDataset":
+        """The non-click space ``N``."""
+        return self.subset(np.flatnonzero(self.clicks == 0))
+
+    def full_batch(self) -> Batch:
+        """The whole dataset as a single batch (evaluation)."""
+        return Batch(
+            sparse=self.sparse,
+            dense=self.dense,
+            clicks=self.clicks,
+            conversions=self.conversions,
+            actions=self.actions,
+        )
+
+    def validate(self) -> None:
+        """Re-run schema/range validation on the stored columns."""
+        self.schema.validate_batch_arrays(self.sparse, self.dense)

@@ -1,0 +1,180 @@
+"""Feature schemas: the contract between datasets and models.
+
+The paper splits input features into *deep* features (user profiles,
+item details -- generalization) and *wide* features (user-item
+interaction features such as "favourite shop id" -- memorization),
+Section III-A.  A :class:`FeatureSchema` captures that split so models
+can build the right embedding layers without touching raw data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+VALID_GROUPS = ("user", "item", "context", "combination")
+VALID_KINDS = ("deep", "wide")
+
+
+@dataclass(frozen=True)
+class SparseFeature:
+    """A categorical feature embedded via a lookup table.
+
+    Attributes
+    ----------
+    name:
+        Unique feature name (column key in batches).
+    vocab_size:
+        Number of distinct ids (ids must be in ``[0, vocab_size)``).
+    group:
+        Semantic origin: ``user``, ``item``, ``context`` or
+        ``combination`` (user-item interaction features).
+    kind:
+        ``deep`` (generalization tower) or ``wide`` (memorization
+        tower).  Combination features are typically wide.
+    """
+
+    name: str
+    vocab_size: int
+    group: str = "user"
+    kind: str = "deep"
+
+    def __post_init__(self) -> None:
+        if self.vocab_size < 1:
+            raise ValueError(f"{self.name}: vocab_size must be >= 1")
+        if self.group not in VALID_GROUPS:
+            raise ValueError(f"{self.name}: group must be one of {VALID_GROUPS}")
+        if self.kind not in VALID_KINDS:
+            raise ValueError(f"{self.name}: kind must be one of {VALID_KINDS}")
+
+
+@dataclass(frozen=True)
+class DenseFeature:
+    """A numeric feature used as-is (after dataset-side normalisation)."""
+
+    name: str
+    dim: int = 1
+    group: str = "user"
+    kind: str = "deep"
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise ValueError(f"{self.name}: dim must be >= 1")
+        if self.group not in VALID_GROUPS:
+            raise ValueError(f"{self.name}: group must be one of {VALID_GROUPS}")
+        if self.kind not in VALID_KINDS:
+            raise ValueError(f"{self.name}: kind must be one of {VALID_KINDS}")
+
+
+@dataclass
+class FeatureSchema:
+    """The full feature inventory of a dataset.
+
+    Feature names must be unique across sparse and dense features.
+    ``has_wide_features`` determines whether models degenerate from
+    wide&deep to pure deep (Section III-A: "if a training dataset does
+    not contain any wide features, our DCMT framework will degenerate
+    ... to a pure deep structure").
+    """
+
+    sparse: List[SparseFeature] = field(default_factory=list)
+    dense: List[DenseFeature] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [f.name for f in self.sparse] + [f.name for f in self.dense]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise ValueError(f"duplicate feature names: {sorted(duplicates)}")
+
+    # ------------------------------------------------------------------
+    @property
+    def feature_names(self) -> List[str]:
+        return [f.name for f in self.sparse] + [f.name for f in self.dense]
+
+    def sparse_by_kind(self, kind: str) -> List[SparseFeature]:
+        return [f for f in self.sparse if f.kind == kind]
+
+    def dense_by_kind(self, kind: str) -> List[DenseFeature]:
+        return [f for f in self.dense if f.kind == kind]
+
+    @property
+    def has_wide_features(self) -> bool:
+        return bool(self.sparse_by_kind("wide")) or bool(self.dense_by_kind("wide"))
+
+    def embedded_width(self, embedding_dim: int, kind: str) -> int:
+        """Width of the concatenated representation for ``kind`` features.
+
+        Sparse features contribute ``embedding_dim`` each; dense
+        features contribute their raw dimension.
+        """
+        sparse_width = embedding_dim * len(self.sparse_by_kind(kind))
+        dense_width = sum(f.dim for f in self.dense_by_kind(kind))
+        return sparse_width + dense_width
+
+    def vocab_sizes(self) -> Dict[str, int]:
+        return {f.name: f.vocab_size for f in self.sparse}
+
+    def validate_batch_arrays(
+        self, sparse: Dict[str, "np.ndarray"], dense: Dict[str, "np.ndarray"]
+    ) -> None:
+        """Check a batch's columns against the schema (names + ranges)."""
+        import numpy as np
+
+        for feature in self.sparse:
+            if feature.name not in sparse:
+                raise KeyError(f"missing sparse feature {feature.name!r}")
+            ids = np.asarray(sparse[feature.name])
+            if ids.size and (ids.min() < 0 or ids.max() >= feature.vocab_size):
+                raise ValueError(
+                    f"{feature.name}: ids outside [0, {feature.vocab_size})"
+                )
+        for feature in self.dense:
+            if feature.name not in dense:
+                raise KeyError(f"missing dense feature {feature.name!r}")
+
+
+def paper_like_schema(
+    n_users: int,
+    n_items: int,
+    n_user_segments: int = 16,
+    n_item_categories: int = 12,
+    n_positions: int = 10,
+    n_affinity_buckets: int = 20,
+    include_wide: bool = True,
+) -> FeatureSchema:
+    """The default schema used by the synthetic scenarios.
+
+    Mirrors the paper's feature taxonomy: user profile features, item
+    detail features, context features, and (wide) combination features
+    standing in for interaction features like "favourite shop id".
+    """
+    sparse = [
+        SparseFeature("user_id", n_users, group="user", kind="deep"),
+        SparseFeature("user_segment", n_user_segments, group="user", kind="deep"),
+        SparseFeature("user_activity", 8, group="user", kind="deep"),
+        SparseFeature("item_id", n_items, group="item", kind="deep"),
+        SparseFeature("item_category", n_item_categories, group="item", kind="deep"),
+        SparseFeature("item_popularity", 8, group="item", kind="deep"),
+        SparseFeature("position", n_positions, group="context", kind="deep"),
+        SparseFeature("hour", 24, group="context", kind="deep"),
+    ]
+    if include_wide:
+        sparse += [
+            SparseFeature(
+                "click_affinity_bucket",
+                n_affinity_buckets,
+                group="combination",
+                kind="wide",
+            ),
+            SparseFeature(
+                "conv_affinity_bucket",
+                n_affinity_buckets,
+                group="combination",
+                kind="wide",
+            ),
+        ]
+    dense = [
+        DenseFeature("user_hist_ctr", 1, group="user", kind="deep"),
+        DenseFeature("item_hist_cvr", 1, group="item", kind="deep"),
+    ]
+    return FeatureSchema(sparse=sparse, dense=dense)

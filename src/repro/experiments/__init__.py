@@ -1,0 +1,42 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every module exposes a ``run_*`` function returning a result object
+with the raw numbers and a ``render()`` method producing the ASCII
+table/series, so benchmarks, the CLI (``dcmt-experiments``) and tests
+share one code path.
+
+| Paper artifact | Module |
+|----------------|--------|
+| Table II  (dataset statistics)       | :mod:`repro.experiments.table2_datasets` |
+| Table III (model inventory)          | :mod:`repro.experiments.table3_models` |
+| Table IV  (offline AUC comparison)   | :mod:`repro.experiments.table4_offline` |
+| Table V   (online A/B test)          | :mod:`repro.experiments.table5_online` |
+| Fig. 7    (CVR prediction dists)     | :mod:`repro.experiments.fig7_distribution` |
+| Fig. 8    (hyper-parameter impact)   | :mod:`repro.experiments.fig8_hyperparams` |
+"""
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.table2_datasets import run_table2
+from repro.experiments.table3_models import run_table3
+from repro.experiments.table4_offline import run_table4
+from repro.experiments.table5_online import run_table5
+from repro.experiments.fig7_distribution import run_fig7
+from repro.experiments.fig8_hyperparams import (
+    run_fig8a_embedding_dim,
+    run_fig8b_mlp_depth,
+    run_fig8c_lambda1,
+    run_fig8d_hard_constraint,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_fig7",
+    "run_fig8a_embedding_dim",
+    "run_fig8b_mlp_depth",
+    "run_fig8c_lambda1",
+    "run_fig8d_hard_constraint",
+]

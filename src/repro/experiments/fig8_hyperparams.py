@@ -1,0 +1,258 @@
+"""Fig. 8: impact of hyper-parameters on DCMT (AE-ES dataset).
+
+Four panels, as in the paper:
+
+* (a) CVR AUC vs feature embedding dimension;
+* (b) CVR AUC vs MLP depth (best-performing structure per depth);
+* (c) CVR AUC vs counterfactual regularizer weight ``lambda_1``,
+  including the hard-constraint configuration;
+* (d) factual vs counterfactual predictions of 100 random samples under
+  the hard constraint -- the paper shows both collapse into narrow
+  complementary value bands.
+
+Note on the lambda axis: the paper's optimum is 0.001 under its
+unnormalised loss; our SNIPS-normalised losses shift the equivalent
+optimum to ~2 (the sweep shows the same rise-then-fall shape).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dcmt import DCMT
+from repro.data.synthetic import SyntheticScenario
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.tables import render_series, render_table
+from repro.metrics.ranking import auc
+from repro.training import Trainer
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.fig8")
+
+#: Best-performing structure per depth (panel b), scaled to this
+#: implementation's tower widths (paper: [128], [64-64], [64-64-32], ...).
+DEPTH_STRUCTURES: Dict[int, Tuple[int, ...]] = {
+    1: (64,),
+    2: (32, 32),
+    3: (32, 32, 16),
+    4: (32, 32, 16, 16),
+    5: (32, 32, 16, 16, 8),
+    6: (32, 32, 16, 16, 8, 8),
+}
+
+
+@dataclass
+class SweepResult:
+    """One Fig. 8 sweep: x values and seed-averaged CVR AUCs."""
+
+    panel: str
+    x_label: str
+    xs: List[object]
+    cvr_aucs: List[float]
+    runtime_seconds: float = 0.0
+
+    @property
+    def best_x(self):
+        return self.xs[int(np.argmax(self.cvr_aucs))]
+
+    def render(self) -> str:
+        return render_series(
+            self.xs,
+            self.cvr_aucs,
+            x_label=self.x_label,
+            y_label="CVR AUC",
+            title=f"Fig. 8({self.panel}) -- impact of {self.x_label} (AE-ES)",
+        )
+
+    def to_svg(self) -> str:
+        """The sweep as a standalone SVG line chart."""
+        from repro.experiments.svg import line_chart
+
+        return line_chart(
+            {"DCMT": self.cvr_aucs},
+            self.xs,
+            title=f"Fig. 8({self.panel}) - impact of {self.x_label} (AE-ES)",
+            x_label=self.x_label,
+            y_label="CVR AUC",
+        )
+
+
+@dataclass
+class HardConstraintResult:
+    """Panel (d): prediction bands under the hard constraint."""
+
+    factual: np.ndarray
+    counterfactual: np.ndarray
+    runtime_seconds: float = 0.0
+
+    @property
+    def factual_band(self) -> Tuple[float, float]:
+        return float(self.factual.min()), float(self.factual.max())
+
+    @property
+    def counterfactual_band(self) -> Tuple[float, float]:
+        return float(self.counterfactual.min()), float(self.counterfactual.max())
+
+    @property
+    def max_sum_violation(self) -> float:
+        return float(np.abs(1.0 - (self.factual + self.counterfactual)).max())
+
+    def render(self) -> str:
+        f_lo, f_hi = self.factual_band
+        c_lo, c_hi = self.counterfactual_band
+        rows = [
+            ["factual CVR", f_lo, f_hi, f_hi - f_lo],
+            ["counterfactual CVR", c_lo, c_hi, c_hi - c_lo],
+        ]
+        return (
+            render_table(
+                ["Prediction", "Min", "Max", "Band width"],
+                rows,
+                title=(
+                    "Fig. 8(d) -- hard constraint collapses predictions into "
+                    "narrow bands (paper: [0.265,0.305] / [0.695,0.735])"
+                ),
+            )
+            + f"\nmax |1 - (r + r*)| = {self.max_sum_violation:.2e}"
+        )
+
+
+# ----------------------------------------------------------------------
+def _train_and_score(
+    scenario: SyntheticScenario,
+    config: ExperimentConfig,
+    model_factory,
+) -> float:
+    train, test = scenario.generate()
+    scores = []
+    for seed in config.seeds:
+        model = model_factory(train.schema, seed)
+        Trainer(model, config.train_config(seed)).fit(train)
+        preds = model.predict(test.full_batch())
+        scores.append(auc(test.conversions, preds.cvr))
+    return float(np.mean(scores))
+
+
+def run_fig8a_embedding_dim(
+    config: Optional[ExperimentConfig] = None,
+    dims: Sequence[int] = (4, 8, 16, 32, 64),
+) -> SweepResult:
+    """Panel (a): embedding dimension sweep."""
+    config = config or ExperimentConfig(seeds=(0,))
+    start = time.time()
+    scenario = SyntheticScenario(config.scenario("ae_es"))
+    scores = []
+    for dim in dims:
+        sub = config.with_overrides(embedding_dim=dim)
+        scores.append(
+            _train_and_score(
+                scenario,
+                sub,
+                lambda schema, seed, s=sub: DCMT(schema, s.model_config(seed)),
+            )
+        )
+        logger.info("fig8a dim=%d auc=%.4f", dim, scores[-1])
+    return SweepResult(
+        panel="a",
+        x_label="embedding dim",
+        xs=list(dims),
+        cvr_aucs=scores,
+        runtime_seconds=time.time() - start,
+    )
+
+
+def run_fig8b_mlp_depth(
+    config: Optional[ExperimentConfig] = None,
+    depths: Sequence[int] = (1, 2, 3, 4, 5, 6),
+) -> SweepResult:
+    """Panel (b): MLP depth sweep (best structure per depth)."""
+    config = config or ExperimentConfig(seeds=(0,))
+    start = time.time()
+    scenario = SyntheticScenario(config.scenario("ae_es"))
+    scores = []
+    for depth in depths:
+        structure = DEPTH_STRUCTURES[depth]
+        sub = config.with_overrides(hidden_sizes=structure)
+        scores.append(
+            _train_and_score(
+                scenario,
+                sub,
+                lambda schema, seed, s=sub: DCMT(schema, s.model_config(seed)),
+            )
+        )
+        logger.info("fig8b depth=%d auc=%.4f", depth, scores[-1])
+    return SweepResult(
+        panel="b",
+        x_label="MLP depth",
+        xs=list(depths),
+        cvr_aucs=scores,
+        runtime_seconds=time.time() - start,
+    )
+
+
+def run_fig8c_lambda1(
+    config: Optional[ExperimentConfig] = None,
+    lambdas: Sequence[float] = (0.002, 0.02, 0.2, 2.0, 8.0, 32.0),
+    include_hard: bool = True,
+) -> SweepResult:
+    """Panel (c): counterfactual regularizer weight sweep (+ hard)."""
+    config = config or ExperimentConfig(seeds=(0,))
+    start = time.time()
+    scenario = SyntheticScenario(config.scenario("ae_es"))
+    xs: List[object] = []
+    scores = []
+    for lam in lambdas:
+        score = _train_and_score(
+            scenario,
+            config,
+            lambda schema, seed, l=lam: DCMT(
+                schema, config.model_config(seed), lambda1=l
+            ),
+        )
+        xs.append(lam)
+        scores.append(score)
+        logger.info("fig8c lambda=%.4g auc=%.4f", lam, score)
+    if include_hard:
+        score = _train_and_score(
+            scenario,
+            config,
+            lambda schema, seed: DCMT(
+                schema, config.model_config(seed), constraint="hard"
+            ),
+        )
+        xs.append("hard")
+        scores.append(score)
+        logger.info("fig8c hard auc=%.4f", score)
+    return SweepResult(
+        panel="c",
+        x_label="lambda_1",
+        xs=xs,
+        cvr_aucs=scores,
+        runtime_seconds=time.time() - start,
+    )
+
+
+def run_fig8d_hard_constraint(
+    config: Optional[ExperimentConfig] = None,
+    n_samples: int = 100,
+) -> HardConstraintResult:
+    """Panel (d): prediction bands of 100 samples under the hard constraint."""
+    config = config or ExperimentConfig(seeds=(0,))
+    start = time.time()
+    scenario = SyntheticScenario(config.scenario("ae_es"))
+    train, test = scenario.generate()
+    seed = config.seeds[0]
+    model = DCMT(train.schema, config.model_config(seed), constraint="hard")
+    Trainer(model, config.train_config(seed)).fit(train)
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(len(test), size=min(n_samples, len(test)), replace=False)
+    preds = model.predict(test.subset(idx).full_batch())
+    return HardConstraintResult(
+        factual=preds.cvr,
+        counterfactual=preds.cvr_counterfactual,
+        runtime_seconds=time.time() - start,
+    )

@@ -1,0 +1,192 @@
+"""Dependency-free SVG chart generation for the figure reproductions.
+
+matplotlib is not available offline, so figures are emitted as
+hand-written SVG strings: a line chart for the Fig. 8 sweeps and a
+histogram for the Fig. 7 prediction distributions.  The output is
+deliberately plain (one series per colour, labelled axes) and valid
+XML, asserted in the test-suite.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+from xml.sax.saxutils import escape
+
+import numpy as np
+
+#: Default canvas size; margins leave room for axis labels.
+WIDTH, HEIGHT = 640, 400
+MARGIN_LEFT, MARGIN_RIGHT = 70, 20
+MARGIN_TOP, MARGIN_BOTTOM = 40, 50
+
+PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b")
+
+
+def line_chart(
+    series: Dict[str, Sequence[float]],
+    x_values: Sequence[float],
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series line chart; x positions are equally spaced by index
+    (categorical x axis -- right for hyper-parameter sweeps)."""
+    if not series:
+        raise ValueError("need at least one series")
+    n = len(x_values)
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise ValueError(f"series {name!r} has {len(ys)} points, expected {n}")
+    all_y = np.concatenate([np.asarray(list(ys), dtype=float) for ys in series.values()])
+    y_min, y_max = float(all_y.min()), float(all_y.max())
+    if y_max == y_min:
+        y_min, y_max = y_min - 0.5, y_max + 0.5
+    pad = 0.08 * (y_max - y_min)
+    y_min, y_max = y_min - pad, y_max + pad
+
+    plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+
+    def sx(i: int) -> float:
+        return MARGIN_LEFT + (plot_w * i / max(n - 1, 1))
+
+    def sy(y: float) -> float:
+        return MARGIN_TOP + plot_h * (1.0 - (y - y_min) / (y_max - y_min))
+
+    parts: List[str] = [_svg_open(), _title(title), _axes()]
+    # y ticks
+    for tick in np.linspace(y_min, y_max, 5):
+        y = sy(float(tick))
+        parts.append(
+            f'<line x1="{MARGIN_LEFT - 4}" y1="{y:.1f}" x2="{MARGIN_LEFT}" '
+            f'y2="{y:.1f}" stroke="#333"/>'
+            f'<text x="{MARGIN_LEFT - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-size="11">{tick:.3f}</text>'
+        )
+    # x ticks
+    for i, x in enumerate(x_values):
+        parts.append(
+            f'<text x="{sx(i):.1f}" y="{HEIGHT - MARGIN_BOTTOM + 18}" '
+            f'text-anchor="middle" font-size="11">{escape(str(x))}</text>'
+        )
+    # series
+    for idx, (name, ys) in enumerate(series.items()):
+        color = PALETTE[idx % len(PALETTE)]
+        points = " ".join(
+            f"{sx(i):.1f},{sy(float(y)):.1f}" for i, y in enumerate(ys)
+        )
+        parts.append(
+            f'<polyline fill="none" stroke="{color}" stroke-width="2" '
+            f'points="{points}"/>'
+        )
+        for i, y in enumerate(ys):
+            parts.append(
+                f'<circle cx="{sx(i):.1f}" cy="{sy(float(y)):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+        parts.append(
+            f'<text x="{WIDTH - MARGIN_RIGHT - 6}" '
+            f'y="{MARGIN_TOP + 16 * (idx + 1)}" text-anchor="end" '
+            f'font-size="12" fill="{color}">{escape(name)}</text>'
+        )
+    parts.append(_axis_labels(x_label, y_label))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def histogram_chart(
+    values: Sequence[float],
+    n_bins: int = 20,
+    title: str = "",
+    x_label: str = "prediction",
+    reference_lines: Optional[Dict[str, float]] = None,
+) -> str:
+    """Histogram over [0, 1] with optional labelled reference lines
+    (the Fig. 7 posterior CVR markers)."""
+    v = np.asarray(list(values), dtype=float)
+    counts, edges = np.histogram(v, bins=n_bins, range=(0.0, 1.0))
+    peak = float(counts.max() or 1)
+    plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT
+    plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM
+    bar_w = plot_w / n_bins
+
+    parts: List[str] = [_svg_open(), _title(title), _axes()]
+    for i, count in enumerate(counts):
+        h = plot_h * count / peak
+        x = MARGIN_LEFT + i * bar_w
+        y = MARGIN_TOP + plot_h - h
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{bar_w - 1:.1f}" '
+            f'height="{h:.1f}" fill="#1f77b4" opacity="0.8"/>'
+        )
+    for i in range(0, n_bins + 1, max(n_bins // 5, 1)):
+        x = MARGIN_LEFT + i * bar_w
+        parts.append(
+            f'<text x="{x:.1f}" y="{HEIGHT - MARGIN_BOTTOM + 18}" '
+            f'text-anchor="middle" font-size="11">{edges[i]:.2f}</text>'
+        )
+    for idx, (name, value) in enumerate((reference_lines or {}).items()):
+        x = MARGIN_LEFT + plot_w * float(np.clip(value, 0.0, 1.0))
+        color = PALETTE[(idx + 1) % len(PALETTE)]
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{MARGIN_TOP}" x2="{x:.1f}" '
+            f'y2="{HEIGHT - MARGIN_BOTTOM}" stroke="{color}" '
+            f'stroke-dasharray="4 3" stroke-width="2"/>'
+            f'<text x="{x + 4:.1f}" y="{MARGIN_TOP + 14 * (idx + 1)}" '
+            f'font-size="11" fill="{color}">{escape(name)}={value:.3f}</text>'
+        )
+    parts.append(_axis_labels(x_label, "count"))
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg: str, path: "Path | str") -> Path:
+    """Write an SVG string to disk; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(svg)
+    return path
+
+
+def _svg_open() -> str:
+    return (
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" '
+        f'height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}" '
+        f'font-family="sans-serif">'
+        f'<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>'
+    )
+
+
+def _title(title: str) -> str:
+    if not title:
+        return ""
+    return (
+        f'<text x="{WIDTH / 2}" y="22" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{escape(title)}</text>'
+    )
+
+
+def _axes() -> str:
+    return (
+        f'<line x1="{MARGIN_LEFT}" y1="{MARGIN_TOP}" x2="{MARGIN_LEFT}" '
+        f'y2="{HEIGHT - MARGIN_BOTTOM}" stroke="#333"/>'
+        f'<line x1="{MARGIN_LEFT}" y1="{HEIGHT - MARGIN_BOTTOM}" '
+        f'x2="{WIDTH - MARGIN_RIGHT}" y2="{HEIGHT - MARGIN_BOTTOM}" stroke="#333"/>'
+    )
+
+
+def _axis_labels(x_label: str, y_label: str) -> str:
+    parts = []
+    if x_label:
+        parts.append(
+            f'<text x="{WIDTH / 2}" y="{HEIGHT - 10}" text-anchor="middle" '
+            f'font-size="13">{escape(x_label)}</text>'
+        )
+    if y_label:
+        parts.append(
+            f'<text x="18" y="{HEIGHT / 2}" text-anchor="middle" '
+            f'font-size="13" transform="rotate(-90 18 {HEIGHT / 2})">'
+            f"{escape(y_label)}</text>"
+        )
+    return "".join(parts)

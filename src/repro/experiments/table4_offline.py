@@ -1,0 +1,212 @@
+"""Table IV: offline CVR / CTCVR AUC comparison.
+
+For every public dataset preset and every model of Table III, trains
+with the shared protocol and reports
+
+* **CVR AUC** -- AUC of the post-click CVR prediction against observed
+  conversion labels over the full test exposure set (the AliExpress
+  benchmark protocol; computable on real logs);
+* **CTCVR AUC** -- AUC of the click&conversion prediction, same labels;
+* **CVR AUC (do)** -- an oracle-only diagnostic: AUC against potential
+  outcome labels ``r(do(o=1))``, which only the synthetic world can
+  provide.
+
+The "improvement" row mirrors the paper: full DCMT vs the
+best-performing baseline per dataset.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.synthetic import SyntheticScenario
+from repro.experiments.configs import (
+    BASELINE_MODELS,
+    OFFLINE_DATASETS,
+    TABLE4_MODELS,
+    ExperimentConfig,
+)
+from repro.experiments.tables import render_table
+from repro.metrics.ranking import auc
+from repro.models.registry import build_model
+from repro.training import Trainer
+from repro.utils.logging import get_logger
+
+logger = get_logger("experiments.table4")
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Seed-averaged metrics for one (dataset, model) pair."""
+
+    cvr_auc: float
+    cvr_auc_std: float
+    ctcvr_auc: float
+    cvr_auc_do: Optional[float]
+
+
+@dataclass
+class Table4Result:
+    datasets: List[str]
+    models: List[str]
+    cells: Dict[Tuple[str, str], CellResult]
+    runtime_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    def best_baseline(self, dataset: str) -> Tuple[str, float]:
+        """Best-performing baseline by CVR AUC on one dataset."""
+        candidates = [m for m in self.models if m in BASELINE_MODELS]
+        best = max(candidates, key=lambda m: self.cells[(dataset, m)].cvr_auc)
+        return best, self.cells[(dataset, best)].cvr_auc
+
+    def improvement(self, dataset: str) -> float:
+        """Relative CVR AUC improvement of full DCMT over the best baseline."""
+        _, base = self.best_baseline(dataset)
+        ours = self.cells[(dataset, "dcmt")].cvr_auc
+        return (ours - base) / base
+
+    def average_improvement(self) -> float:
+        return float(np.mean([self.improvement(d) for d in self.datasets]))
+
+    def dcmt_vs_variant(self, variant: str) -> float:
+        """Average relative improvement of full DCMT over an ablation."""
+        ratios = []
+        for dataset in self.datasets:
+            ours = self.cells[(dataset, "dcmt")].cvr_auc
+            theirs = self.cells[(dataset, variant)].cvr_auc
+            ratios.append((ours - theirs) / theirs)
+        return float(np.mean(ratios))
+
+    # ------------------------------------------------------------------
+    def render(self, show_std: bool = False) -> str:
+        headers = ["Dataset"] + [
+            f"{m}.{k}" for m in self.models for k in ("CVR", "CTCVR")
+        ]
+        rows = []
+        for dataset in self.datasets:
+            row: List[object] = [dataset]
+            for model in self.models:
+                cell = self.cells[(dataset, model)]
+                cvr = (
+                    f"{cell.cvr_auc:.4f}±{cell.cvr_auc_std:.3f}"
+                    if show_std
+                    else cell.cvr_auc
+                )
+                row += [cvr, cell.ctcvr_auc]
+            rows.append(row)
+        main = render_table(
+            headers,
+            rows,
+            title="Table IV -- offline AUC (CVR task / CTCVR task)",
+        )
+        extra_rows = []
+        for dataset in self.datasets:
+            best_name, best_value = self.best_baseline(dataset)
+            extra_rows.append(
+                [
+                    dataset,
+                    best_name,
+                    best_value,
+                    self.cells[(dataset, "dcmt")].cvr_auc,
+                    f"{self.improvement(dataset) * 100:+.2f}%",
+                ]
+            )
+        improvements = render_table(
+            ["Dataset", "Best baseline", "Baseline CVR", "DCMT CVR", "Improvement"],
+            extra_rows,
+            title="Improvement (DCMT vs best-performing baselines)",
+        )
+        footer_lines = [
+            f"Average improvement: {self.average_improvement() * 100:+.2f}% "
+            f"(paper: +1.07%)"
+        ]
+        ablations = []
+        if "dcmt_pd" in self.models:
+            ablations.append(
+                f"DCMT vs DCMT_PD: {self.dcmt_vs_variant('dcmt_pd') * 100:+.2f}% "
+                f"(paper: +2.89%)"
+            )
+        if "dcmt_cf" in self.models:
+            ablations.append(
+                f"DCMT vs DCMT_CF: {self.dcmt_vs_variant('dcmt_cf') * 100:+.2f}% "
+                f"(paper: +1.91%)"
+            )
+        if ablations:
+            footer_lines.append(" | ".join(ablations))
+        return "\n\n".join([main, improvements, "\n".join(footer_lines)])
+
+    def render_do_diagnostic(self) -> str:
+        """Oracle-only panel: CVR AUC against potential-outcome labels.
+
+        Only the synthetic worlds can produce this table (real logs
+        have no ``r(do(o=1))``); it measures entire-space ranking of
+        the *causal* quantity, cf. the metric discussion in
+        EXPERIMENTS.md.
+        """
+        headers = ["Dataset"] + list(self.models)
+        rows = []
+        for dataset in self.datasets:
+            row: List[object] = [dataset]
+            for model in self.models:
+                value = self.cells[(dataset, model)].cvr_auc_do
+                row.append(value if value is not None else "-")
+            rows.append(row)
+        return render_table(
+            headers,
+            rows,
+            title="Oracle diagnostic -- CVR AUC vs potential outcomes r(do(o=1))",
+        )
+
+
+def run_table4(
+    config: Optional[ExperimentConfig] = None,
+    datasets: Optional[Sequence[str]] = None,
+    models: Optional[Sequence[str]] = None,
+) -> Table4Result:
+    """Train and evaluate the full model zoo on every offline dataset."""
+    config = config or ExperimentConfig()
+    dataset_names = list(datasets) if datasets else list(OFFLINE_DATASETS)
+    model_names = list(models) if models else list(TABLE4_MODELS)
+    if "dcmt" not in model_names:
+        raise ValueError("Table IV requires the full 'dcmt' model")
+
+    start = time.time()
+    cells: Dict[Tuple[str, str], CellResult] = {}
+    for dataset_name in dataset_names:
+        scenario = SyntheticScenario(config.scenario(dataset_name))
+        train, test = scenario.generate()
+        test_batch = test.full_batch()
+        for model_name in model_names:
+            cvr_scores, ctcvr_scores, do_scores = [], [], []
+            for seed in config.seeds:
+                model = build_model(
+                    model_name, train.schema, config.model_config(seed)
+                )
+                Trainer(model, config.train_config(seed)).fit(train)
+                preds = model.predict(test_batch)
+                cvr_scores.append(auc(test.conversions, preds.cvr))
+                ctcvr_scores.append(auc(test.conversions, preds.ctcvr))
+                if test.has_oracle:
+                    do_scores.append(auc(test.oracle_conversion, preds.cvr))
+            cells[(dataset_name, model_name)] = CellResult(
+                cvr_auc=float(np.mean(cvr_scores)),
+                cvr_auc_std=float(np.std(cvr_scores)),
+                ctcvr_auc=float(np.mean(ctcvr_scores)),
+                cvr_auc_do=float(np.mean(do_scores)) if do_scores else None,
+            )
+            logger.info(
+                "%s/%s: CVR AUC %.4f",
+                dataset_name,
+                model_name,
+                cells[(dataset_name, model_name)].cvr_auc,
+            )
+    return Table4Result(
+        datasets=dataset_names,
+        models=model_names,
+        cells=cells,
+        runtime_seconds=time.time() - start,
+    )

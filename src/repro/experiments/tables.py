@@ -1,0 +1,72 @@
+"""ASCII table and sparkline rendering for experiment outputs."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Fixed-width ASCII table with a separator under the header."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    xs: Sequence[object], ys: Sequence[float], x_label: str, y_label: str, title: str = ""
+) -> str:
+    """A small two-column series with a unicode bar per value.
+
+    Used for the Fig. 8 sweeps: readable in a terminal, diffable in CI.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    for x, y in zip(xs, ys):
+        bar = "#" * (1 + int(29 * (y - lo) / span))
+        lines.append(f"{x_label}={_fmt(x):>10s}  {y_label}={y:.4f}  {bar}")
+    return "\n".join(lines)
+
+
+def render_histogram(
+    values, n_bins: int = 20, title: str = "", width: int = 40
+) -> str:
+    """ASCII histogram over [0, 1] (Fig. 7 prediction distributions)."""
+    import numpy as np
+
+    v = np.asarray(values, dtype=float)
+    counts, edges = np.histogram(v, bins=n_bins, range=(0.0, 1.0))
+    peak = counts.max() or 1
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(width * count / peak)
+        lines.append(f"[{lo:4.2f},{hi:4.2f})  {bar} {count}")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.4f}"
+    return str(cell)

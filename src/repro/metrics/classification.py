@@ -1,0 +1,56 @@
+"""Probabilistic classification metrics."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def log_loss(labels: np.ndarray, probs: np.ndarray) -> float:
+    """Mean binary log-loss with clipping."""
+    y = np.asarray(labels, dtype=float)
+    p = np.clip(np.asarray(probs, dtype=float), _EPS, 1.0 - _EPS)
+    if y.shape != p.shape:
+        raise ValueError(f"shape mismatch: {y.shape} vs {p.shape}")
+    return float(-(y * np.log(p) + (1 - y) * np.log(1 - p)).mean())
+
+
+def expected_calibration_error(
+    labels: np.ndarray, probs: np.ndarray, n_bins: int = 10
+) -> float:
+    """ECE: average |mean prediction - empirical rate| over score bins.
+
+    A debiased CVR estimator should be better calibrated over the
+    entire space than a click-space-trained one (cf. Fig. 7's mean
+    prediction analysis).
+    """
+    y = np.asarray(labels, dtype=float)
+    p = np.asarray(probs, dtype=float)
+    if n_bins < 1:
+        raise ValueError(f"n_bins must be >= 1, got {n_bins}")
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins = np.clip(np.digitize(p, edges[1:-1]), 0, n_bins - 1)
+    total = len(p)
+    ece = 0.0
+    for b in range(n_bins):
+        mask = bins == b
+        if not mask.any():
+            continue
+        gap = abs(p[mask].mean() - y[mask].mean())
+        ece += (mask.sum() / total) * gap
+    return float(ece)
+
+
+def prediction_summary(probs: np.ndarray) -> Dict[str, float]:
+    """Distribution summary used by the Fig. 7 reproduction."""
+    p = np.asarray(probs, dtype=float)
+    return {
+        "mean": float(p.mean()),
+        "std": float(p.std()),
+        "p10": float(np.quantile(p, 0.10)),
+        "median": float(np.quantile(p, 0.50)),
+        "p90": float(np.quantile(p, 0.90)),
+    }

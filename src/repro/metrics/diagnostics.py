@@ -1,0 +1,138 @@
+"""Production-style prediction diagnostics.
+
+Two workhorse tables used to debug CVR models in industry, both
+directly relevant to the paper's claims:
+
+* **Decile lift table** (:func:`decile_lift_table`): sort by predicted
+  CVR, split into score deciles, compare predicted vs empirical rate
+  per decile.  A debiased model should track the empirical rates over
+  the entire space; a click-space model over-predicts in the head.
+* **Propensity-bucket bias** (:func:`bias_by_propensity`): mean
+  prediction error grouped by click propensity.  Selection bias shows
+  up as error that *grows toward low-propensity buckets* -- the region
+  the click space never sees; entire-space debiasing flattens the
+  profile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BucketRow:
+    """One bucket of a diagnostic table."""
+
+    bucket: int
+    count: int
+    lower: float
+    upper: float
+    mean_prediction: float
+    empirical_rate: float
+
+    @property
+    def bias(self) -> float:
+        """Signed calibration error of this bucket."""
+        return self.mean_prediction - self.empirical_rate
+
+    @property
+    def lift(self) -> Optional[float]:
+        """Predicted / empirical ratio (None when empirical is zero)."""
+        if self.empirical_rate == 0:
+            return None
+        return self.mean_prediction / self.empirical_rate
+
+
+def decile_lift_table(
+    labels: np.ndarray,
+    predictions: np.ndarray,
+    n_buckets: int = 10,
+) -> List[BucketRow]:
+    """Score-sorted bucket table: predicted vs empirical rate.
+
+    Bucket 0 holds the lowest-scored rows; bucket ``n_buckets - 1`` the
+    highest.  Equal-population buckets (by rank), so each row carries
+    ~the same statistical weight.
+    """
+    y = np.asarray(labels, dtype=float)
+    p = np.asarray(predictions, dtype=float)
+    if y.shape != p.shape:
+        raise ValueError(f"shape mismatch: {y.shape} vs {p.shape}")
+    if n_buckets < 2:
+        raise ValueError(f"n_buckets must be >= 2, got {n_buckets}")
+    if len(y) < n_buckets:
+        raise ValueError("need at least one row per bucket")
+    order = np.argsort(p, kind="stable")
+    splits = np.array_split(order, n_buckets)
+    rows = []
+    for b, idx in enumerate(splits):
+        rows.append(
+            BucketRow(
+                bucket=b,
+                count=len(idx),
+                lower=float(p[idx].min()),
+                upper=float(p[idx].max()),
+                mean_prediction=float(p[idx].mean()),
+                empirical_rate=float(y[idx].mean()),
+            )
+        )
+    return rows
+
+
+def bias_by_propensity(
+    labels: np.ndarray,
+    predictions: np.ndarray,
+    propensities: np.ndarray,
+    n_buckets: int = 5,
+) -> List[BucketRow]:
+    """Calibration error grouped by click propensity.
+
+    ``propensities`` may be true (oracle) or estimated click
+    probabilities; buckets are equal-population by propensity rank.
+    """
+    y = np.asarray(labels, dtype=float)
+    p = np.asarray(predictions, dtype=float)
+    q = np.asarray(propensities, dtype=float)
+    if not (y.shape == p.shape == q.shape):
+        raise ValueError("labels, predictions and propensities must align")
+    if n_buckets < 2:
+        raise ValueError(f"n_buckets must be >= 2, got {n_buckets}")
+    order = np.argsort(q, kind="stable")
+    splits = np.array_split(order, n_buckets)
+    rows = []
+    for b, idx in enumerate(splits):
+        rows.append(
+            BucketRow(
+                bucket=b,
+                count=len(idx),
+                lower=float(q[idx].min()),
+                upper=float(q[idx].max()),
+                mean_prediction=float(p[idx].mean()),
+                empirical_rate=float(y[idx].mean()),
+            )
+        )
+    return rows
+
+
+def render_bucket_table(rows: List[BucketRow], title: str = "") -> str:
+    """ASCII rendering of a diagnostic table."""
+    from repro.experiments.tables import render_table
+
+    return render_table(
+        ["Bucket", "N", "Range", "Mean pred", "Empirical", "Bias"],
+        [
+            [
+                r.bucket,
+                r.count,
+                f"[{r.lower:.3f}, {r.upper:.3f}]",
+                r.mean_prediction,
+                r.empirical_rate,
+                f"{r.bias:+.4f}",
+            ]
+            for r in rows
+        ],
+        title=title,
+    )

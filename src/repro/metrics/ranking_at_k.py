@@ -1,0 +1,85 @@
+"""Top-k ranking metrics for serving quality.
+
+AUC measures global ranking; serving cares about the head of the list.
+These metrics operate on per-query (per-user/page) groups:
+
+* :func:`precision_at_k` -- fraction of relevant items in the top-k;
+* :func:`recall_at_k` -- fraction of a group's relevant items retrieved;
+* :func:`ndcg_at_k` -- position-discounted gain, the standard top-heavy
+  ranking metric.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _group_indices(groups: np.ndarray):
+    order = np.argsort(groups, kind="stable")
+    sorted_groups = groups[order]
+    boundaries = np.flatnonzero(np.diff(sorted_groups)) + 1
+    return np.split(order, boundaries)
+
+
+def precision_at_k(
+    labels: np.ndarray, scores: np.ndarray, groups: np.ndarray, k: int
+) -> Optional[float]:
+    """Mean per-group precision of the top-k scored items.
+
+    Groups smaller than ``k`` use their full size.  Groups with no
+    positives are skipped; returns None when every group is skipped.
+    """
+    return _mean_over_groups(labels, scores, groups, k, _precision_one)
+
+
+def recall_at_k(
+    labels: np.ndarray, scores: np.ndarray, groups: np.ndarray, k: int
+) -> Optional[float]:
+    """Mean per-group recall of the top-k scored items."""
+    return _mean_over_groups(labels, scores, groups, k, _recall_one)
+
+
+def ndcg_at_k(
+    labels: np.ndarray, scores: np.ndarray, groups: np.ndarray, k: int
+) -> Optional[float]:
+    """Mean per-group NDCG@k with binary relevance."""
+    return _mean_over_groups(labels, scores, groups, k, _ndcg_one)
+
+
+def _mean_over_groups(labels, scores, groups, k, fn) -> Optional[float]:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    y = np.asarray(labels, dtype=float)
+    s = np.asarray(scores, dtype=float)
+    g = np.asarray(groups)
+    if not (len(y) == len(s) == len(g)):
+        raise ValueError("labels, scores and groups must share one length")
+    values = []
+    for idx in _group_indices(g):
+        group_labels = y[idx]
+        if group_labels.sum() == 0:
+            continue
+        top = idx[np.argsort(-s[idx], kind="stable")[:k]]
+        values.append(fn(y, top, group_labels, k))
+    if not values:
+        return None
+    return float(np.mean(values))
+
+
+def _precision_one(y, top, group_labels, k) -> float:
+    return float(y[top].sum() / len(top))
+
+
+def _recall_one(y, top, group_labels, k) -> float:
+    return float(y[top].sum() / group_labels.sum())
+
+
+def _ndcg_one(y, top, group_labels, k) -> float:
+    gains = y[top]
+    discounts = 1.0 / np.log2(np.arange(2, len(top) + 2))
+    dcg = float((gains * discounts).sum())
+    ideal_hits = int(min(group_labels.sum(), len(top)))
+    ideal = float(discounts[:ideal_hits].sum())
+    return dcg / ideal

@@ -1,0 +1,108 @@
+"""Shared model components: the embedding layer and wide&deep towers.
+
+The Embedding Layer of Fig. 3 is shared by the CTR task and the CVR
+task: each sparse feature owns a lookup table; deep and wide feature
+embeddings are concatenated separately (Section III-A).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import Batch
+from repro.data.schema import FeatureSchema
+from repro.nn.embedding import Embedding
+from repro.nn.linear import Linear
+from repro.nn.mlp import MLP
+from repro.nn.module import Module
+
+
+class FeatureEmbedding(Module):
+    """Embeds a batch into ``(deep_vector, wide_vector)``.
+
+    Sparse features are embedded via per-feature lookup tables; dense
+    features are appended raw.  ``wide_vector`` is ``None`` when the
+    schema has no wide features, in which case downstream towers
+    degenerate to a pure deep structure (Section III-A).
+    """
+
+    def __init__(
+        self, schema: FeatureSchema, embedding_dim: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        if embedding_dim < 1:
+            raise ValueError(f"embedding_dim must be >= 1, got {embedding_dim}")
+        self.schema = schema
+        self.embedding_dim = embedding_dim
+        self.tables: Dict[str, Embedding] = {
+            feature.name: Embedding(feature.vocab_size, embedding_dim, rng)
+            for feature in schema.sparse
+        }
+        self.deep_width = schema.embedded_width(embedding_dim, "deep")
+        self.wide_width = schema.embedded_width(embedding_dim, "wide")
+
+    def forward(self, batch: Batch) -> Tuple[Tensor, Optional[Tensor]]:
+        deep_parts = []
+        wide_parts = []
+        for feature in self.schema.sparse:
+            embedded = self.tables[feature.name](batch.sparse[feature.name])
+            (deep_parts if feature.kind == "deep" else wide_parts).append(embedded)
+        for feature in self.schema.dense:
+            column = np.asarray(batch.dense[feature.name], dtype=float)
+            if column.ndim == 1:
+                column = column[:, None]
+            part = Tensor(column)
+            (deep_parts if feature.kind == "deep" else wide_parts).append(part)
+        deep = ops.concat(deep_parts, axis=1) if deep_parts else None
+        wide = ops.concat(wide_parts, axis=1) if wide_parts else None
+        if deep is None:
+            raise ValueError("schema produced no deep features")
+        return deep, wide
+
+
+class WideDeepTower(Module):
+    """A wide&deep prediction tower producing one logit per sample.
+
+    ``logit = phi(wide; theta_w) + psi(deep; theta_d)`` as in Eq. (12):
+    a generalized linear part over the wide embedding plus an MLP over
+    the deep embedding.  With no wide input the tower is a pure MLP.
+    """
+
+    def __init__(
+        self,
+        deep_width: int,
+        wide_width: int,
+        hidden_sizes,
+        rng: np.random.Generator,
+        activation: str = "relu",
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        self.deep = MLP(
+            deep_width,
+            list(hidden_sizes),
+            rng,
+            activation=activation,
+            out_features=1,
+            dropout=dropout,
+        )
+        self.wide: Optional[Linear] = (
+            Linear(wide_width, 1, rng, weight_init="xavier_uniform")
+            if wide_width > 0
+            else None
+        )
+
+    def forward(self, deep: Tensor, wide: Optional[Tensor]) -> Tensor:
+        logit = self.deep(deep)
+        if self.wide is not None and wide is not None:
+            logit = logit + self.wide(wide)
+        return ops.squeeze(logit, axis=1)
+
+
+def probability(logit: Tensor) -> Tensor:
+    """Sigmoid head shared by all towers."""
+    return ops.sigmoid(logit)

@@ -1,0 +1,66 @@
+"""Cross-Stitch networks (Misra et al., CVPR 2016) for CTR + CVR.
+
+Two parallel MLP stacks (one per task) whose activations are linearly
+recombined by a learnable cross-stitch unit after every hidden layer
+(Fig. 2(b) group in the paper).  CTR is trained over ``D``; CVR over
+``O``; no NMAR correction -- Limitation 2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional, ops
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import Batch
+from repro.data.schema import FeatureSchema
+from repro.models.base import ModelConfig, MultiTaskModel
+from repro.models.components import FeatureEmbedding, probability
+from repro.nn.activations import get_activation
+from repro.nn.gates import CrossStitchUnit
+from repro.nn.linear import Linear
+
+
+class CrossStitch(MultiTaskModel):
+    """Two stitched towers: task A = CTR, task B = CVR."""
+
+    model_name = "cross_stitch"
+
+    def __init__(self, schema: FeatureSchema, config: ModelConfig) -> None:
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        self.embedding = FeatureEmbedding(schema, config.embedding_dim, rng)
+        self._activation = get_activation(config.activation)
+        width = self.embedding.deep_width + self.embedding.wide_width
+        self.layers_ctr = []
+        self.layers_cvr = []
+        self.stitches = []
+        for size in config.hidden_sizes:
+            self.layers_ctr.append(Linear(width, size, rng))
+            self.layers_cvr.append(Linear(width, size, rng))
+            self.stitches.append(CrossStitchUnit())
+            width = size
+        self.head_ctr = Linear(width, 1, rng, weight_init="xavier_uniform")
+        self.head_cvr = Linear(width, 1, rng, weight_init="xavier_uniform")
+
+    def _shared_input(self, batch: Batch) -> Tensor:
+        deep, wide = self.embedding(batch)
+        return deep if wide is None else ops.concat([deep, wide], axis=1)
+
+    def forward_tensors(self, batch: Batch):
+        a = b = self._shared_input(batch)
+        for layer_a, layer_b, stitch in zip(
+            self.layers_ctr, self.layers_cvr, self.stitches
+        ):
+            a = self._activation(layer_a(a))
+            b = self._activation(layer_b(b))
+            a, b = stitch(a, b)
+        ctr = probability(ops.squeeze(self.head_ctr(a), axis=1))
+        cvr = probability(ops.squeeze(self.head_cvr(b), axis=1))
+        return {"ctr": ctr, "cvr": cvr, "ctcvr": ctr * cvr}
+
+    def loss(self, batch: Batch) -> Tensor:
+        outputs = self.forward_tensors(batch)
+        ctr_loss = functional.binary_cross_entropy(outputs["ctr"], batch.clicks)
+        cvr_loss = self.masked_click_space_bce(outputs["cvr"], batch)
+        return ctr_loss + self.config.cvr_weight * cvr_loss

@@ -1,0 +1,133 @@
+"""ESCM2: Entire Space Counterfactual Multi-task Model (Wang et al., 2022).
+
+The causal baselines of Table III.  On top of the ESMM structure
+(shared embedding, CTR + CVR towers, global CTCVR supervision), the CVR
+head is trained with a counterfactual risk:
+
+* ``variant="ipw"`` -- inverse propensity weighting (Eq. (5)): the CVR
+  log-loss on clicked samples is re-weighted by ``1/o_hat``.
+* ``variant="dr"``  -- doubly robust (Eq. (6)): an extra imputation
+  tower predicts the per-sample CVR error ``e_hat`` over ``D`` and
+  corrects it with a propensity-weighted residual on ``O``.
+
+Propensities are detached (no gradient flows through importance
+weights) and clipped away from 0, standard practice shared with DCMT
+(Section III-F).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional, ops
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import Batch
+from repro.data.schema import FeatureSchema
+from repro.models.base import ModelConfig, MultiTaskModel
+from repro.models.components import FeatureEmbedding, WideDeepTower, probability
+
+VARIANTS = ("ipw", "dr")
+
+
+class ESCM2(MultiTaskModel):
+    """ESCM2-IPW / ESCM2-DR."""
+
+    def __init__(
+        self,
+        schema: FeatureSchema,
+        config: ModelConfig,
+        variant: str = "ipw",
+        imputation_weight: float = 1.0,
+        global_supervision: bool = True,
+    ) -> None:
+        """``global_supervision=False`` removes the entire-space CTCVR
+        task, which recovers the earlier Multi-IPW / Multi-DR models of
+        Zhang et al. (WWW 2020) -- ESCM2's published delta over them is
+        exactly that global risk term."""
+        super().__init__(config)
+        if variant not in VARIANTS:
+            raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+        self.variant = variant
+        self.global_supervision = global_supervision
+        prefix = "escm2" if global_supervision else "multi"
+        self.model_name = f"{prefix}_{variant}"
+        self.imputation_weight = imputation_weight
+        rng = np.random.default_rng(config.seed)
+        self.embedding = FeatureEmbedding(schema, config.embedding_dim, rng)
+        tower_args = dict(
+            deep_width=self.embedding.deep_width,
+            wide_width=self.embedding.wide_width,
+            hidden_sizes=config.hidden_sizes,
+            rng=rng,
+            activation=config.activation,
+            dropout=config.dropout,
+        )
+        self.ctr_tower = WideDeepTower(**tower_args)
+        self.cvr_tower = WideDeepTower(**tower_args)
+        self.imputation_tower = WideDeepTower(**tower_args) if variant == "dr" else None
+
+    # ------------------------------------------------------------------
+    def forward_tensors(self, batch: Batch):
+        deep, wide = self.embedding(batch)
+        ctr = probability(self.ctr_tower(deep, wide))
+        cvr = probability(self.cvr_tower(deep, wide))
+        outputs = {"ctr": ctr, "cvr": cvr, "ctcvr": ctr * cvr}
+        if self.imputation_tower is not None:
+            # e_hat predicts a (non-negative) log-loss: softplus head.
+            logit = self.imputation_tower(deep, wide)
+            outputs["imputed_error"] = _softplus(logit)
+        return outputs
+
+    def _clipped_propensity(self, ctr: Tensor) -> np.ndarray:
+        """Detached, clipped click propensity for importance weights."""
+        return np.clip(ctr.data, self.config.propensity_floor, 1.0)
+
+    def loss(self, batch: Batch) -> Tensor:
+        outputs = self.forward_tensors(batch)
+        ctr, cvr = outputs["ctr"], outputs["cvr"]
+        clicks = batch.clicks.astype(float)
+        n = batch.size
+
+        ctr_loss = functional.binary_cross_entropy(ctr, batch.clicks)
+        ctcvr_loss = (
+            functional.binary_cross_entropy(outputs["ctcvr"], batch.conversions)
+            if self.global_supervision
+            else None
+        )
+
+        errors = functional.binary_cross_entropy(
+            cvr, batch.conversions, reduction="none"
+        )
+        propensity = self._clipped_propensity(ctr)
+        if self.variant == "ipw":
+            # Eq. (5): sum over O of e/o_hat, normalised by |D|.
+            cvr_loss = functional.weighted_mean(
+                errors, clicks / propensity, denominator=float(n)
+            )
+        else:
+            e_hat = outputs["imputed_error"]
+            delta = errors - e_hat
+            # Eq. (6): mean(e_hat) + mean(o * delta / o_hat).
+            dr_direct = e_hat.mean()
+            dr_correction = functional.weighted_mean(
+                delta, clicks / propensity, denominator=float(n)
+            )
+            cvr_loss = dr_direct + dr_correction
+            # Imputation tower regression: propensity-weighted squared
+            # residual on the click space (errors detached -- the
+            # imputation tower should chase the CVR error, not push it).
+            residual = Tensor(errors.data) - e_hat
+            imputation_loss = functional.weighted_mean(
+                residual * residual, clicks / propensity, denominator=float(n)
+            )
+            cvr_loss = cvr_loss + self.imputation_weight * imputation_loss
+
+        total = ctr_loss + self.config.cvr_weight * cvr_loss
+        if self.global_supervision:
+            total = total + self.config.ctcvr_weight * ctcvr_loss
+        return total
+
+
+def _softplus(x: Tensor) -> Tensor:
+    """Numerically stable ``log(1 + exp(x))``."""
+    return ops.maximum(x, 0.0) + ops.log(1.0 + ops.exp(-ops.absolute(x)))

@@ -1,0 +1,94 @@
+"""ESM2: Entire Space Multi-task Model via post-click behaviour
+decomposition (Wen et al., SIGIR 2020).
+
+Decomposes the post-click path through a deterministic micro action
+(cart/favourite)::
+
+    click --> DAction --> buy          (a_hat, r_hat_d)
+          \\-> OAction --> buy          (1 - a_hat, r_hat_o)
+
+so ``CVR = a_hat * r_hat_d + (1 - a_hat) * r_hat_o``.  Like ESMM it is
+trained purely on *entire-space* composite probabilities --
+``p(click)``, ``p(click & action) = o_hat * a_hat`` and
+``p(click & buy) = o_hat * cvr_hat`` -- which leverages the micro
+behaviour labels that the synthetic generator (and Ali-CCP) provide.
+It belongs to the paper's parallel-MTL group and inherits ESMM's
+Limitation 1.
+
+Datasets without action labels degrade the action task to a constant
+(the model still trains; a warning is logged once).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import Batch
+from repro.data.schema import FeatureSchema
+from repro.models.base import ModelConfig, MultiTaskModel
+from repro.models.components import FeatureEmbedding, WideDeepTower, probability
+from repro.utils.logging import get_logger
+
+logger = get_logger("models.esm2")
+
+
+class ESM2(MultiTaskModel):
+    """Four towers: CTR, action-given-click, buy-given-DAction/OAction."""
+
+    model_name = "esm2"
+
+    def __init__(self, schema: FeatureSchema, config: ModelConfig) -> None:
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        self.embedding = FeatureEmbedding(schema, config.embedding_dim, rng)
+        tower_args = dict(
+            deep_width=self.embedding.deep_width,
+            wide_width=self.embedding.wide_width,
+            hidden_sizes=config.hidden_sizes,
+            rng=rng,
+            activation=config.activation,
+            dropout=config.dropout,
+        )
+        self.ctr_tower = WideDeepTower(**tower_args)
+        self.action_tower = WideDeepTower(**tower_args)
+        self.buy_after_action_tower = WideDeepTower(**tower_args)
+        self.buy_without_action_tower = WideDeepTower(**tower_args)
+        self._warned_missing_actions = False
+
+    def forward_tensors(self, batch: Batch):
+        deep, wide = self.embedding(batch)
+        ctr = probability(self.ctr_tower(deep, wide))
+        action = probability(self.action_tower(deep, wide))
+        buy_d = probability(self.buy_after_action_tower(deep, wide))
+        buy_o = probability(self.buy_without_action_tower(deep, wide))
+        cvr = action * buy_d + (1.0 - action) * buy_o
+        return {
+            "ctr": ctr,
+            "action": action,
+            "cvr": cvr,
+            "ctcvr": ctr * cvr,
+            "ctavr": ctr * action,
+        }
+
+    def loss(self, batch: Batch) -> Tensor:
+        outputs = self.forward_tensors(batch)
+        ctr_loss = functional.binary_cross_entropy(outputs["ctr"], batch.clicks)
+        ctcvr_loss = functional.binary_cross_entropy(
+            outputs["ctcvr"], batch.conversions
+        )
+        total = ctr_loss + self.config.ctcvr_weight * ctcvr_loss
+        if batch.actions is not None:
+            # p(click & action) supervised over the entire space.
+            ctavr_loss = functional.binary_cross_entropy(
+                outputs["ctavr"], batch.actions
+            )
+            total = total + ctavr_loss
+        elif not self._warned_missing_actions:
+            logger.warning(
+                "ESM2 trained without micro-action labels; the behaviour "
+                "decomposition degrades to an unsupervised mixture"
+            )
+            self._warned_missing_actions = True
+        return total

@@ -1,0 +1,58 @@
+"""ESMM: Entire Space Multi-task Model (Ma et al., SIGIR 2018).
+
+The parallel-MTL baseline of Fig. 2(a): shared embeddings, a CTR tower
+and a CVR tower, trained via the two *entire-space* auxiliary tasks
+
+* CTR:   ``e(o, o_hat)`` over ``D``;
+* CTCVR: ``e(r, o_hat * r_hat)`` over ``D``;
+
+with **no direct supervision of the CVR head**.  The paper's analysis
+(Section II-B) shows this factorisation models ``p(o)p(r)`` rather than
+``p(o)p(r|o)`` and therefore remains biased.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import Batch
+from repro.data.schema import FeatureSchema
+from repro.models.base import ModelConfig, MultiTaskModel
+from repro.models.components import FeatureEmbedding, WideDeepTower, probability
+
+
+class ESMM(MultiTaskModel):
+    """Shared-bottom CTR + CVR towers supervised via CTR and CTCVR."""
+
+    model_name = "esmm"
+
+    def __init__(self, schema: FeatureSchema, config: ModelConfig) -> None:
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        self.embedding = FeatureEmbedding(schema, config.embedding_dim, rng)
+        tower_args = dict(
+            deep_width=self.embedding.deep_width,
+            wide_width=self.embedding.wide_width,
+            hidden_sizes=config.hidden_sizes,
+            rng=rng,
+            activation=config.activation,
+            dropout=config.dropout,
+        )
+        self.ctr_tower = WideDeepTower(**tower_args)
+        self.cvr_tower = WideDeepTower(**tower_args)
+
+    def forward_tensors(self, batch: Batch):
+        deep, wide = self.embedding(batch)
+        ctr = probability(self.ctr_tower(deep, wide))
+        cvr = probability(self.cvr_tower(deep, wide))
+        return {"ctr": ctr, "cvr": cvr, "ctcvr": ctr * cvr}
+
+    def loss(self, batch: Batch) -> Tensor:
+        outputs = self.forward_tensors(batch)
+        ctr_loss = functional.binary_cross_entropy(outputs["ctr"], batch.clicks)
+        ctcvr_loss = functional.binary_cross_entropy(
+            outputs["ctcvr"], batch.conversions
+        )
+        return ctr_loss + self.config.ctcvr_weight * ctcvr_loss

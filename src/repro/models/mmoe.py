@@ -1,0 +1,69 @@
+"""MMOE: Multi-gate Mixture-of-Experts (Ma et al., KDD 2018).
+
+Shared experts with per-task softmax gates feeding task towers.  This
+is also the *base model* of the paper's online A/B test (Table V).
+CTR is trained over ``D``, CVR over ``O``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional, ops
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import Batch
+from repro.data.schema import FeatureSchema
+from repro.models.base import ModelConfig, MultiTaskModel
+from repro.models.components import FeatureEmbedding, probability
+from repro.nn.gates import ExpertGroup, MMoEGate
+from repro.nn.mlp import MLP
+
+
+class MMOE(MultiTaskModel):
+    """Gated mixture-of-experts with CTR and CVR towers."""
+
+    model_name = "mmoe"
+
+    def __init__(
+        self,
+        schema: FeatureSchema,
+        config: ModelConfig,
+        num_experts: int = 4,
+    ) -> None:
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        self.embedding = FeatureEmbedding(schema, config.embedding_dim, rng)
+        width = self.embedding.deep_width + self.embedding.wide_width
+        expert_hidden = list(config.hidden_sizes[:-1]) or [config.hidden_sizes[0]]
+        self.experts = ExpertGroup(
+            width, expert_hidden, num_experts, rng, activation=config.activation
+        )
+        self.gate_ctr = MMoEGate(width, num_experts, rng)
+        self.gate_cvr = MMoEGate(width, num_experts, rng)
+        tower_width = self.experts.out_width
+        tower_hidden = [config.hidden_sizes[-1]]
+        self.tower_ctr = MLP(
+            tower_width, tower_hidden, rng, activation=config.activation, out_features=1
+        )
+        self.tower_cvr = MLP(
+            tower_width, tower_hidden, rng, activation=config.activation, out_features=1
+        )
+
+    def _shared_input(self, batch: Batch) -> Tensor:
+        deep, wide = self.embedding(batch)
+        return deep if wide is None else ops.concat([deep, wide], axis=1)
+
+    def forward_tensors(self, batch: Batch):
+        x = self._shared_input(batch)
+        expert_out = self.experts(x)
+        ctr_in = self.gate_ctr(x, expert_out)
+        cvr_in = self.gate_cvr(x, expert_out)
+        ctr = probability(ops.squeeze(self.tower_ctr(ctr_in), axis=1))
+        cvr = probability(ops.squeeze(self.tower_cvr(cvr_in), axis=1))
+        return {"ctr": ctr, "cvr": cvr, "ctcvr": ctr * cvr}
+
+    def loss(self, batch: Batch) -> Tensor:
+        outputs = self.forward_tensors(batch)
+        ctr_loss = functional.binary_cross_entropy(outputs["ctr"], batch.clicks)
+        cvr_loss = self.masked_click_space_bce(outputs["cvr"], batch)
+        return ctr_loss + self.config.cvr_weight * cvr_loss

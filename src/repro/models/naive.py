@@ -1,0 +1,50 @@
+"""The naive CVR estimator: trained on the click space only.
+
+Not in Table III, but it is the reference point of the paper's Section
+II analysis (Eq. (2)-(3)): a conventional post-click CVR model whose
+training space ``O`` differs from its inference space ``D``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional
+from repro.autograd.tensor import Tensor
+from repro.data.dataset import Batch
+from repro.data.schema import FeatureSchema
+from repro.models.base import ModelConfig, MultiTaskModel
+from repro.models.components import FeatureEmbedding, WideDeepTower, probability
+
+
+class NaiveCVR(MultiTaskModel):
+    """Independent CTR and CVR towers; CVR log-loss over ``O`` only."""
+
+    model_name = "naive"
+
+    def __init__(self, schema: FeatureSchema, config: ModelConfig) -> None:
+        super().__init__(config)
+        rng = np.random.default_rng(config.seed)
+        self.embedding = FeatureEmbedding(schema, config.embedding_dim, rng)
+        tower_args = dict(
+            deep_width=self.embedding.deep_width,
+            wide_width=self.embedding.wide_width,
+            hidden_sizes=config.hidden_sizes,
+            rng=rng,
+            activation=config.activation,
+            dropout=config.dropout,
+        )
+        self.ctr_tower = WideDeepTower(**tower_args)
+        self.cvr_tower = WideDeepTower(**tower_args)
+
+    def forward_tensors(self, batch: Batch):
+        deep, wide = self.embedding(batch)
+        ctr = probability(self.ctr_tower(deep, wide))
+        cvr = probability(self.cvr_tower(deep, wide))
+        return {"ctr": ctr, "cvr": cvr, "ctcvr": ctr * cvr}
+
+    def loss(self, batch: Batch) -> Tensor:
+        outputs = self.forward_tensors(batch)
+        ctr_loss = functional.binary_cross_entropy(outputs["ctr"], batch.clicks)
+        cvr_loss = self.masked_click_space_bce(outputs["cvr"], batch)
+        return ctr_loss + self.config.cvr_weight * cvr_loss

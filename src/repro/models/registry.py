@@ -1,0 +1,227 @@
+"""Model registry: Table III as code.
+
+Maps model names to factories plus the descriptive metadata of the
+paper's Table III (group, structure, main idea).  The experiment
+harness renders Table III directly from this registry and builds every
+model through :func:`build_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.data.schema import FeatureSchema
+from repro.models.base import ModelConfig, MultiTaskModel
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Registry entry: metadata + factory."""
+
+    name: str
+    group: str
+    structure: str
+    main_idea: str
+    factory: Callable[[FeatureSchema, ModelConfig], MultiTaskModel]
+
+
+def _naive(schema, config):
+    from repro.models.naive import NaiveCVR
+
+    return NaiveCVR(schema, config)
+
+
+def _esmm(schema, config):
+    from repro.models.esmm import ESMM
+
+    return ESMM(schema, config)
+
+
+def _esm2(schema, config):
+    from repro.models.esm2 import ESM2
+
+    return ESM2(schema, config)
+
+
+def _cross_stitch(schema, config):
+    from repro.models.cross_stitch import CrossStitch
+
+    return CrossStitch(schema, config)
+
+
+def _mmoe(schema, config):
+    from repro.models.mmoe import MMOE
+
+    return MMOE(schema, config)
+
+
+def _ple(schema, config):
+    from repro.models.ple import PLE
+
+    return PLE(schema, config)
+
+
+def _aitm(schema, config):
+    from repro.models.aitm import AITM
+
+    return AITM(schema, config)
+
+
+def _escm2_ipw(schema, config):
+    from repro.models.escm2 import ESCM2
+
+    return ESCM2(schema, config, variant="ipw")
+
+
+def _escm2_dr(schema, config):
+    from repro.models.escm2 import ESCM2
+
+    return ESCM2(schema, config, variant="dr")
+
+
+def _multi_ipw(schema, config):
+    from repro.models.escm2 import ESCM2
+
+    return ESCM2(schema, config, variant="ipw", global_supervision=False)
+
+
+def _multi_dr(schema, config):
+    from repro.models.escm2 import ESCM2
+
+    return ESCM2(schema, config, variant="dr", global_supervision=False)
+
+
+def _dcmt(schema, config):
+    from repro.core.dcmt import DCMT
+
+    return DCMT(schema, config)
+
+
+def _dcmt_pd(schema, config):
+    from repro.core.dcmt import DCMT
+
+    return DCMT(schema, config, variant="pd")
+
+
+def _dcmt_cf(schema, config):
+    from repro.core.dcmt import DCMT
+
+    return DCMT(schema, config, variant="cf")
+
+
+MODEL_REGISTRY: Dict[str, ModelInfo] = {
+    "naive": ModelInfo(
+        name="naive",
+        group="Reference",
+        structure="Independent CTR/CVR towers",
+        main_idea="Conventional click-space CVR training",
+        factory=_naive,
+    ),
+    "esmm": ModelInfo(
+        name="esmm",
+        group="Parallel MTL baselines",
+        structure="Shared bottom",
+        main_idea="Feature representation transfer learning",
+        factory=_esmm,
+    ),
+    "esm2": ModelInfo(
+        name="esm2",
+        group="Parallel MTL baselines",
+        structure="Shared bottom, post-click behaviour decomposition",
+        main_idea="Entire-space training through micro-action paths "
+        "(Wen et al., SIGIR 2020)",
+        factory=_esm2,
+    ),
+    "cross_stitch": ModelInfo(
+        name="cross_stitch",
+        group="Multi-gate MTL baselines",
+        structure="Cross-stitch unit",
+        main_idea="Activation combination",
+        factory=_cross_stitch,
+    ),
+    "mmoe": ModelInfo(
+        name="mmoe",
+        group="Multi-gate MTL baselines",
+        structure="Gated mixture-of-experts",
+        main_idea="Trade-offs between task-specific objectives and "
+        "inter-task relationships",
+        factory=_mmoe,
+    ),
+    "ple": ModelInfo(
+        name="ple",
+        group="Multi-gate MTL baselines",
+        structure="Customized gates & local experts & shared experts",
+        main_idea="Customized sharing (avoiding negative transfer)",
+        factory=_ple,
+    ),
+    "aitm": ModelInfo(
+        name="aitm",
+        group="Multi-gate MTL baselines",
+        structure="Shared bottom & inter-task transfer",
+        main_idea="Adaptive information transfer",
+        factory=_aitm,
+    ),
+    "escm2_ipw": ModelInfo(
+        name="escm2_ipw",
+        group="Causal baselines",
+        structure="Two towers (CTR+CVR)",
+        main_idea="Propensity-based debiasing",
+        factory=_escm2_ipw,
+    ),
+    "escm2_dr": ModelInfo(
+        name="escm2_dr",
+        group="Causal baselines",
+        structure="Three towers (CTR+CVR+Imputation)",
+        main_idea="Propensity-based debiasing & doubly robust estimation",
+        factory=_escm2_dr,
+    ),
+    "multi_ipw": ModelInfo(
+        name="multi_ipw",
+        group="Causal baselines (related work)",
+        structure="Two towers (CTR+CVR), no global CTCVR supervision",
+        main_idea="Multi-task IPW debiasing (Zhang et al., WWW 2020)",
+        factory=_multi_ipw,
+    ),
+    "multi_dr": ModelInfo(
+        name="multi_dr",
+        group="Causal baselines (related work)",
+        structure="Three towers (CTR+CVR+Imputation), no global CTCVR",
+        main_idea="Multi-task doubly robust debiasing (Zhang et al., WWW 2020)",
+        factory=_multi_dr,
+    ),
+    "dcmt_pd": ModelInfo(
+        name="dcmt_pd",
+        group="Our methods (simplified)",
+        structure="CTR tower + the twin CVR tower",
+        main_idea="Propensity-based debiasing over D",
+        factory=_dcmt_pd,
+    ),
+    "dcmt_cf": ModelInfo(
+        name="dcmt_cf",
+        group="Our methods (simplified)",
+        structure="CTR tower + the twin CVR tower",
+        main_idea="Counterfactual mechanism",
+        factory=_dcmt_cf,
+    ),
+    "dcmt": ModelInfo(
+        name="dcmt",
+        group="Our methods (completed)",
+        structure="CTR tower + the twin CVR tower",
+        main_idea="Propensity-based debiasing & counterfactual mechanism",
+        factory=_dcmt,
+    ),
+}
+
+
+def build_model(
+    name: str, schema: FeatureSchema, config: ModelConfig
+) -> MultiTaskModel:
+    """Instantiate a registered model by name."""
+    try:
+        info = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; choose from {sorted(MODEL_REGISTRY)}"
+        ) from None
+    return info.factory(schema, config)

@@ -1,0 +1,43 @@
+"""Activation functions as modules and by-name lookup."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+_ACTIVATIONS = {
+    "relu": ops.relu,
+    "tanh": ops.tanh,
+    "sigmoid": ops.sigmoid,
+    "leaky_relu": ops.leaky_relu,
+    "identity": lambda x: x,
+}
+
+
+def get_activation(name: str) -> Callable[[Tensor], Tensor]:
+    """Look an activation function up by name.
+
+    Raises ``KeyError`` listing the valid names on a typo, which is the
+    most common configuration mistake.
+    """
+    try:
+        return _ACTIVATIONS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown activation {name!r}; choose from {sorted(_ACTIVATIONS)}"
+        ) from None
+
+
+class Activation(Module):
+    """An activation as a module (usable inside :class:`Sequential`)."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.name = name
+        self._fn = get_activation(name)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._fn(x)

@@ -1,0 +1,29 @@
+"""Inverted dropout (identity in evaluation mode)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+
+class Dropout(Module):
+    """Randomly zero activations during training, scaling survivors.
+
+    Uses the "inverted" convention so evaluation mode is an identity.
+    """
+
+    def __init__(self, rate: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.rate == 0.0:
+            return x
+        mask = ops.dropout_mask(x.shape, self.rate, self._rng)
+        return x * Tensor(mask)

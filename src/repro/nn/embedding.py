@@ -1,0 +1,59 @@
+"""Sparse-id embedding table.
+
+The shared Embedding Layer of Fig. 3 maps every sparse feature id to a
+dense vector; per-feature tables are concatenated downstream (see
+:class:`repro.models.components.FeatureEmbedding`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+
+class Embedding(Module):
+    """A ``(num_embeddings, dim)`` lookup table.
+
+    Parameters
+    ----------
+    num_embeddings:
+        Vocabulary size.
+    dim:
+        Embedding dimension (the paper sweeps {4,...,128}; defaults are
+        set by the experiment configs, not here).
+    rng:
+        Generator for the Gaussian initialization.
+    std:
+        Initialization standard deviation.
+    """
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        dim: int,
+        rng: np.random.Generator,
+        std: float = 0.01,
+    ) -> None:
+        super().__init__()
+        if num_embeddings < 1 or dim < 1:
+            raise ValueError(
+                f"embedding shape must be positive, got ({num_embeddings}, {dim})"
+            )
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+        self.weight = Parameter(
+            init.normal((num_embeddings, dim), rng, std=std), name="embedding"
+        )
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        """Gather embedding rows for integer ``indices`` of any shape."""
+        idx = np.asarray(indices)
+        if idx.min(initial=0) < 0 or (idx.size and idx.max() >= self.num_embeddings):
+            raise IndexError(
+                f"index out of range for vocabulary of size {self.num_embeddings}"
+            )
+        return ops.take_rows(self.weight, idx)

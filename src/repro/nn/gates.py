@@ -1,0 +1,197 @@
+"""Multi-gate multi-task building blocks.
+
+These implement the sharing mechanisms of the paper's "multi-gate MTL"
+baselines (Fig. 2(b), Table III):
+
+* :class:`ExpertGroup` + :class:`MMoEGate` -- the gated
+  mixture-of-experts of MMOE (Ma et al., KDD 2018).
+* :class:`CrossStitchUnit` -- the learnable activation combination of
+  Cross-Stitch networks (Misra et al., CVPR 2016).
+* :class:`PLELayer` -- one customized-gate-control extraction layer of
+  Progressive Layered Extraction (Tang et al., RecSys 2020).
+* :class:`AITMTransfer` -- the adaptive information transfer module of
+  AITM (Xi et al., KDD 2021).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.linear import Linear
+from repro.nn.mlp import MLP
+from repro.nn.module import Module, Parameter
+
+
+class ExpertGroup(Module):
+    """``num_experts`` identically shaped MLP experts over a shared input.
+
+    ``forward`` returns a tensor of shape ``(batch, num_experts, width)``.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        num_experts: int,
+        rng: np.random.Generator,
+        activation: str = "relu",
+    ) -> None:
+        super().__init__()
+        if num_experts < 1:
+            raise ValueError(f"need at least one expert, got {num_experts}")
+        self.experts = [
+            MLP(in_features, hidden_sizes, rng, activation=activation)
+            for _ in range(num_experts)
+        ]
+        self.out_width = self.experts[0].out_width
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.stack([expert(x) for expert in self.experts], axis=1)
+
+
+class MMoEGate(Module):
+    """A softmax gate mixing expert outputs for one task.
+
+    Given expert outputs ``(batch, num_experts, width)`` and the shared
+    input ``x``, produces ``sum_k g_k(x) * expert_k`` of shape
+    ``(batch, width)``.
+    """
+
+    def __init__(
+        self, in_features: int, num_experts: int, rng: np.random.Generator
+    ) -> None:
+        super().__init__()
+        self.gate = Linear(in_features, num_experts, rng, weight_init="xavier_uniform")
+
+    def forward(self, x: Tensor, expert_outputs: Tensor) -> Tensor:
+        weights = ops.softmax(self.gate(x), axis=-1)  # (batch, num_experts)
+        batch, num_experts = weights.shape
+        expanded = weights.reshape(batch, num_experts, 1)
+        return (expert_outputs * expanded).sum(axis=1)
+
+
+class CrossStitchUnit(Module):
+    """Learnable linear recombination of two tasks' activations.
+
+    ``a1' = s11*a1 + s12*a2`` and ``a2' = s21*a1 + s22*a2`` with the
+    2x2 stitch matrix initialized near identity (0.9/0.1), the standard
+    choice so tasks start mostly independent.
+    """
+
+    def __init__(self, self_weight: float = 0.9) -> None:
+        super().__init__()
+        cross = 1.0 - self_weight
+        self.stitch = Parameter(
+            np.array([[self_weight, cross], [cross, self_weight]]), name="stitch"
+        )
+
+    def forward(self, a1: Tensor, a2: Tensor):
+        s = self.stitch
+        out1 = a1 * s[0, 0] + a2 * s[0, 1]
+        out2 = a1 * s[1, 0] + a2 * s[1, 1]
+        return out1, out2
+
+
+class PLELayer(Module):
+    """One CGC (customized gate control) extraction layer of PLE.
+
+    Each task owns ``task_experts`` private experts; ``shared_experts``
+    are visible to every task.  A per-task gate mixes
+    ``private + shared`` experts; an optional shared gate (used between
+    stacked layers) mixes all experts.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        num_tasks: int,
+        rng: np.random.Generator,
+        task_experts: int = 1,
+        shared_experts: int = 1,
+        with_shared_gate: bool = False,
+    ) -> None:
+        super().__init__()
+        if num_tasks < 2:
+            raise ValueError(f"PLE needs >=2 tasks, got {num_tasks}")
+        self.num_tasks = num_tasks
+        self.task_expert_groups = [
+            ExpertGroup(in_features, hidden_sizes, task_experts, rng)
+            for _ in range(num_tasks)
+        ]
+        self.shared_expert_group = ExpertGroup(
+            in_features, hidden_sizes, shared_experts, rng
+        )
+        mix_count = task_experts + shared_experts
+        self.task_gates = [
+            Linear(in_features, mix_count, rng, weight_init="xavier_uniform")
+            for _ in range(num_tasks)
+        ]
+        self.shared_gate: Optional[Linear] = None
+        if with_shared_gate:
+            all_experts = num_tasks * task_experts + shared_experts
+            self.shared_gate = Linear(
+                in_features, all_experts, rng, weight_init="xavier_uniform"
+            )
+        self.out_width = self.shared_expert_group.out_width
+
+    def forward(self, task_inputs: Sequence[Tensor], shared_input: Tensor):
+        """Return ``(task_outputs, shared_output)``.
+
+        ``task_inputs`` has one tensor per task (all equal to the shared
+        embedding at the first layer); ``shared_output`` is None unless
+        the layer was built ``with_shared_gate``.
+        """
+        if len(task_inputs) != self.num_tasks:
+            raise ValueError(
+                f"expected {self.num_tasks} task inputs, got {len(task_inputs)}"
+            )
+        shared_out = self.shared_expert_group(shared_input)
+        task_outputs: List[Tensor] = []
+        all_expert_outputs = []
+        for i, task_input in enumerate(task_inputs):
+            private = self.task_expert_groups[i](task_input)
+            all_expert_outputs.append(private)
+            mixed = ops.concat([private, shared_out], axis=1)
+            weights = ops.softmax(self.task_gates[i](task_input), axis=-1)
+            batch, count = weights.shape
+            task_outputs.append(
+                (mixed * weights.reshape(batch, count, 1)).sum(axis=1)
+            )
+        shared_mix: Optional[Tensor] = None
+        if self.shared_gate is not None:
+            everything = ops.concat(all_expert_outputs + [shared_out], axis=1)
+            weights = ops.softmax(self.shared_gate(shared_input), axis=-1)
+            batch, count = weights.shape
+            shared_mix = (everything * weights.reshape(batch, count, 1)).sum(axis=1)
+        return task_outputs, shared_mix
+
+
+class AITMTransfer(Module):
+    """Adaptive information transfer between two sequential task towers.
+
+    Combines the previous task's transferred representation ``p`` and
+    the current tower's representation ``q`` with a tiny self-attention
+    over the two candidates (Xi et al., 2021, Eq. (4)-(6)).
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.dim = dim
+        self.query = Linear(dim, dim, rng, bias=False, weight_init="xavier_uniform")
+        self.key = Linear(dim, dim, rng, bias=False, weight_init="xavier_uniform")
+        self.value = Linear(dim, dim, rng, bias=False, weight_init="xavier_uniform")
+
+    def forward(self, transferred: Tensor, current: Tensor) -> Tensor:
+        candidates = ops.stack([transferred, current], axis=1)  # (batch, 2, dim)
+        q = self.query(candidates)
+        k = self.key(candidates)
+        v = self.value(candidates)
+        scores = (q * k).sum(axis=-1) * (1.0 / np.sqrt(self.dim))  # (batch, 2)
+        weights = ops.softmax(scores, axis=-1)
+        batch, count = weights.shape
+        return (v * weights.reshape(batch, count, 1)).sum(axis=1)

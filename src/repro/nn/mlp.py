@@ -1,0 +1,76 @@
+"""Multi-layer perceptron: the "deep part" of every tower.
+
+The paper's deep towers are plain MLPs, e.g. [64-64-32] on the
+AliExpress datasets and [320-200-80] on Ali-CCP (Section IV-A2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.nn.activations import get_activation
+from repro.nn.dropout import Dropout
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+
+class MLP(Module):
+    """A stack of ``Linear -> activation [-> dropout]`` blocks.
+
+    Parameters
+    ----------
+    in_features:
+        Input width.
+    hidden_sizes:
+        Widths of the hidden layers, e.g. ``[64, 64, 32]``.
+    rng:
+        Generator for weight initialization (and dropout masks).
+    activation:
+        Activation applied after every hidden layer.
+    out_features:
+        Optional extra output layer (no activation); when ``None`` the
+        output is the last hidden representation.
+    dropout:
+        Dropout rate applied after each hidden activation (0 disables).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: Sequence[int],
+        rng: np.random.Generator,
+        activation: str = "relu",
+        out_features: Optional[int] = None,
+        dropout: float = 0.0,
+    ) -> None:
+        super().__init__()
+        if not hidden_sizes and out_features is None:
+            raise ValueError("MLP needs at least one hidden layer or out_features")
+        self.activation_name = activation
+        self._activation = get_activation(activation)
+        self.hidden_layers = []
+        width = in_features
+        for size in hidden_sizes:
+            self.hidden_layers.append(Linear(width, size, rng))
+            width = size
+        self.dropouts = [
+            Dropout(dropout, rng) if dropout > 0 else None for _ in hidden_sizes
+        ]
+        self.output_layer: Optional[Linear] = (
+            Linear(width, out_features, rng, weight_init="xavier_uniform")
+            if out_features is not None
+            else None
+        )
+        self.out_width = out_features if out_features is not None else width
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer, drop in zip(self.hidden_layers, self.dropouts):
+            x = self._activation(layer(x))
+            if drop is not None:
+                x = drop(x)
+        if self.output_layer is not None:
+            x = self.output_layer(x)
+        return x

@@ -1,0 +1,55 @@
+"""Adam optimizer (Kingma & Ba, 2014) -- the paper's training algorithm."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+
+class Adam(Optimizer):
+    """Adam with bias correction.
+
+    Defaults match the paper's setting: ``lr=0.001`` (Section IV-A2).
+    ``weight_decay`` implements the Eq. (14) L2 regularizer
+    (``lambda_2``, paper default 1e-4).
+    """
+
+    def __init__(
+        self,
+        params: Iterable[Parameter],
+        lr: float = 0.001,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, weight_decay)
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        self.lr = lr
+        self.beta1, self.beta2 = beta1, beta2
+        self.eps = eps
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1**t
+        bias2 = 1.0 - self.beta2**t
+        for p, m, v in zip(self.params, self._m, self._v):
+            grad = self._grad(p)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,56 @@
+"""Optimizer base class and gradient utilities."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base class holding the parameter list and shared plumbing."""
+
+    def __init__(self, params: Iterable[Parameter], weight_decay: float = 0.0) -> None:
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        """Clear gradients on all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _grad(self, p: Parameter) -> np.ndarray:
+        """Parameter gradient with L2 weight decay folded in."""
+        grad = p.grad if p.grad is not None else np.zeros_like(p.data)
+        if self.weight_decay:
+            grad = grad + 2.0 * self.weight_decay * p.data
+        return grad
+
+
+def clip_global_norm(params: Sequence[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging training stability).
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(p.grad**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm

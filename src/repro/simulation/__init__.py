@@ -1,0 +1,36 @@
+"""Online A/B test simulation (Table V and Fig. 7).
+
+The paper's online experiment serves ranked results from four models
+(MMOE base, ESCM2-IPW, ESCM2-DR, DCMT) to disjoint user buckets on the
+Alipay Search platform for a week and compares PV-CTR, PV-CVR and
+Top-5 PV-CVR per day.  This package reproduces that protocol against
+the synthetic behaviour world:
+
+* :class:`~repro.simulation.serving.RankingService` -- scores candidate
+  items with a trained model and serves the top-k;
+* :class:`~repro.simulation.behavior.BehaviorSimulator` -- rolls out
+  clicks and conversions from the scenario's true behaviour model
+  (including the hidden attention confounder);
+* :class:`~repro.simulation.ab_test.ABTest` -- bucket assignment, daily
+  rollout, per-day and overall lifts with significance tests, and the
+  day-1 prediction log used by the Fig. 7 reproduction.
+"""
+
+from repro.simulation.serving import RankingService
+from repro.simulation.behavior import BehaviorSimulator, PageViewOutcome
+from repro.simulation.ab_test import (
+    ABTest,
+    ABTestConfig,
+    ABTestResult,
+    BucketDay,
+)
+
+__all__ = [
+    "RankingService",
+    "BehaviorSimulator",
+    "PageViewOutcome",
+    "ABTest",
+    "ABTestConfig",
+    "ABTestResult",
+    "BucketDay",
+]

@@ -1,0 +1,20 @@
+"""Training and evaluation harness.
+
+:class:`~repro.training.trainer.Trainer` runs the paper's training
+protocol (Adam, batch 1024, up to 5 epochs, L2 weight decay as
+``lambda_2``); :mod:`~repro.training.evaluation` computes the offline
+metrics of Table IV plus the entire-space diagnostics enabled by the
+synthetic oracle.
+"""
+
+from repro.training.config import TrainConfig
+from repro.training.trainer import Trainer, TrainingHistory
+from repro.training.evaluation import EvaluationResult, evaluate_model
+
+__all__ = [
+    "TrainConfig",
+    "Trainer",
+    "TrainingHistory",
+    "EvaluationResult",
+    "evaluate_model",
+]

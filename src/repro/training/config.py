@@ -1,0 +1,43 @@
+"""Training configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Knobs of the training loop.
+
+    Paper defaults (Section IV-A2): Adam, learning rate 0.001, batch
+    size 1024, max 5 epochs, ``lambda_2 = 1e-4`` (here applied as
+    optimizer weight decay -- mathematically the same L2 penalty).
+    """
+
+    epochs: int = 5
+    batch_size: int = 1024
+    learning_rate: float = 0.001
+    weight_decay: float = 1e-4
+    grad_clip: Optional[float] = 10.0
+    shuffle: bool = True
+    drop_last: bool = False
+    seed: int = 0
+    #: Stop early when the validation CVR AUC has not improved for this
+    #: many epochs (None disables early stopping).
+    early_stopping_patience: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {self.batch_size}")
+        if self.learning_rate <= 0:
+            raise ValueError(f"learning_rate must be > 0, got {self.learning_rate}")
+        if self.weight_decay < 0:
+            raise ValueError(f"weight_decay must be >= 0, got {self.weight_decay}")
+        if self.grad_clip is not None and self.grad_clip <= 0:
+            raise ValueError(f"grad_clip must be positive or None, got {self.grad_clip}")
+
+    def with_overrides(self, **kwargs) -> "TrainConfig":
+        return replace(self, **kwargs)

@@ -1,0 +1,120 @@
+"""Offline evaluation: the metrics behind Table IV and Fig. 7.
+
+``evaluate_model`` computes, on a held-out exposure log:
+
+* **cvr_auc_d** -- CVR AUC over the entire space ``D`` using the oracle
+  potential-outcome labels ``r(do(o=1))``.  This is the paper's actual
+  object of interest (inference happens over ``D``); the synthetic
+  oracle lets us measure it exactly.
+* **cvr_auc_o** -- CVR AUC restricted to clicked test samples with
+  observed labels (the only option on real logs).
+* **ctcvr_auc** -- click&conversion AUC over ``D`` (observed labels).
+* **ctr_auc** -- click AUC over ``D``.
+* **cvr_gauc** -- user-grouped CVR AUC over ``D`` (observed labels),
+  the within-user ranking quality that online serving actually uses.
+* **avg_cvr_prediction** vs the posterior CVR over ``D``/``O``/``N``
+  (the Fig. 7 quantities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.metrics.classification import log_loss
+from repro.metrics.ranking import auc, grouped_auc
+from repro.models.base import MultiTaskModel, Predictions
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """All offline metrics for one (model, dataset) pair."""
+
+    model_name: str
+    dataset_name: str
+    ctr_auc: float
+    cvr_auc_d: Optional[float]
+    cvr_auc_o: Optional[float]
+    ctcvr_auc: Optional[float]
+    cvr_gauc: Optional[float]
+    cvr_log_loss_d: Optional[float]
+    avg_cvr_prediction: float
+    posterior_cvr_d: Optional[float]
+    posterior_cvr_o: Optional[float]
+    posterior_cvr_n: Optional[float]
+
+    @property
+    def cvr_prediction_gap(self) -> Optional[float]:
+        """|mean prediction - posterior CVR over D| (Fig. 7 diagnostic)."""
+        if self.posterior_cvr_d is None:
+            return None
+        return abs(self.avg_cvr_prediction - self.posterior_cvr_d)
+
+
+def _safe_auc(labels: np.ndarray, scores: np.ndarray) -> Optional[float]:
+    """AUC, or None when the labels are degenerate (sparse data)."""
+    try:
+        return auc(labels, scores)
+    except ValueError:
+        return None
+
+
+def evaluate_model(
+    model: MultiTaskModel,
+    dataset: InteractionDataset,
+    predictions: Optional[Predictions] = None,
+) -> EvaluationResult:
+    """Compute the full offline metric set on ``dataset``.
+
+    ``predictions`` may be passed in to avoid recomputing a forward
+    pass (the experiment harness reuses predictions across metrics).
+    """
+    preds = predictions if predictions is not None else model.predict(dataset.full_batch())
+    clicked = dataset.clicks == 1
+
+    ctr_auc = _safe_auc(dataset.clicks, preds.ctr)
+    ctcvr_auc = _safe_auc(dataset.conversions, preds.ctcvr)
+    cvr_auc_o = (
+        _safe_auc(dataset.conversions[clicked], preds.cvr[clicked])
+        if clicked.any()
+        else None
+    )
+    users = dataset.sparse.get("user_id")
+    cvr_gauc = (
+        grouped_auc(dataset.conversions, preds.cvr, users)
+        if users is not None
+        else None
+    )
+
+    if dataset.has_oracle:
+        cvr_auc_d = _safe_auc(dataset.oracle_conversion, preds.cvr)
+        cvr_log_loss_d = log_loss(dataset.oracle_conversion, preds.cvr)
+        posterior_d = float(dataset.oracle_cvr.mean())
+        posterior_o = (
+            float(dataset.oracle_cvr[clicked].mean()) if clicked.any() else None
+        )
+        posterior_n = (
+            float(dataset.oracle_cvr[~clicked].mean()) if (~clicked).any() else None
+        )
+    else:
+        cvr_auc_d = None
+        cvr_log_loss_d = None
+        posterior_d = posterior_o = posterior_n = None
+
+    return EvaluationResult(
+        model_name=model.model_name,
+        dataset_name=dataset.name,
+        ctr_auc=ctr_auc if ctr_auc is not None else float("nan"),
+        cvr_auc_d=cvr_auc_d,
+        cvr_auc_o=cvr_auc_o,
+        ctcvr_auc=ctcvr_auc,
+        cvr_gauc=cvr_gauc,
+        cvr_log_loss_d=cvr_log_loss_d,
+        avg_cvr_prediction=float(preds.cvr.mean()),
+        posterior_cvr_d=posterior_d,
+        posterior_cvr_o=posterior_o,
+        posterior_cvr_n=posterior_n,
+    )

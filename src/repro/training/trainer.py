@@ -1,0 +1,111 @@
+"""The training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.data.batching import batch_iterator
+from repro.data.dataset import InteractionDataset
+from repro.models.base import MultiTaskModel
+from repro.optim import Adam, clip_global_norm
+from repro.training.config import TrainConfig
+from repro.training.evaluation import evaluate_model
+from repro.utils.logging import get_logger
+
+logger = get_logger("training")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch training record."""
+
+    epoch_losses: List[float] = field(default_factory=list)
+    validation_cvr_auc: List[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def n_epochs_run(self) -> int:
+        return len(self.epoch_losses)
+
+
+class Trainer:
+    """Trains one model with the paper's protocol (Adam + L2).
+
+    The ``lambda_2 ||theta||^2`` regularizer of Eq. (14) is applied as
+    optimizer weight decay.
+    """
+
+    def __init__(self, model: MultiTaskModel, config: TrainConfig) -> None:
+        self.model = model
+        self.config = config
+        self.optimizer = Adam(
+            model.parameters(),
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        self._rng = np.random.default_rng(config.seed)
+
+    def fit(
+        self,
+        train: InteractionDataset,
+        validation: Optional[InteractionDataset] = None,
+    ) -> TrainingHistory:
+        """Train for up to ``config.epochs`` epochs.
+
+        When ``validation`` is given and early stopping is enabled,
+        training stops after ``early_stopping_patience`` epochs without
+        improvement in entire-space CVR AUC (falling back to the
+        click-space AUC when the dataset has no oracle).
+        """
+        history = TrainingHistory()
+        best_metric = -np.inf
+        stale = 0
+        self.model.train()
+        for epoch in range(self.config.epochs):
+            epoch_loss = 0.0
+            n_batches = 0
+            for batch in batch_iterator(
+                train,
+                self.config.batch_size,
+                rng=self._rng,
+                shuffle=self.config.shuffle,
+                drop_last=self.config.drop_last,
+            ):
+                loss = self.model.loss(batch)
+                self.optimizer.zero_grad()
+                loss.backward()
+                if self.config.grad_clip is not None:
+                    clip_global_norm(self.model.parameters(), self.config.grad_clip)
+                self.optimizer.step()
+                epoch_loss += loss.item()
+                n_batches += 1
+            history.epoch_losses.append(epoch_loss / max(n_batches, 1))
+            logger.debug(
+                "epoch %d: mean loss %.5f", epoch, history.epoch_losses[-1]
+            )
+
+            if validation is None:
+                continue
+            result = evaluate_model(self.model, validation)
+            metric = (
+                result.cvr_auc_d
+                if result.cvr_auc_d is not None
+                else (result.cvr_auc_o or 0.5)
+            )
+            history.validation_cvr_auc.append(metric)
+            patience = self.config.early_stopping_patience
+            if patience is not None:
+                if metric > best_metric + 1e-6:
+                    best_metric = metric
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= patience:
+                        history.stopped_early = True
+                        break
+            self.model.train()
+        self.model.eval()
+        return history

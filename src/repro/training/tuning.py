@@ -1,0 +1,117 @@
+"""Hyper-parameter search utilities.
+
+The Fig. 8 sweeps are one-dimensional; these helpers generalise to
+grids and random search for downstream users.  The evaluation callable
+receives a parameter dict and returns a score; all trials are recorded
+so the full response surface can be inspected or rendered.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence
+
+import numpy as np
+
+from repro.utils.logging import get_logger
+
+logger = get_logger("training.tuning")
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One evaluated parameter combination."""
+
+    params: Dict[str, Any]
+    score: float
+
+
+@dataclass
+class SearchResult:
+    """All trials plus the winner."""
+
+    trials: List[Trial]
+    maximize: bool = True
+
+    @property
+    def best(self) -> Trial:
+        if not self.trials:
+            raise ValueError("no trials recorded")
+        key = (lambda t: t.score) if self.maximize else (lambda t: -t.score)
+        return max(self.trials, key=key)
+
+    @property
+    def best_params(self) -> Dict[str, Any]:
+        return self.best.params
+
+    @property
+    def best_score(self) -> float:
+        return self.best.score
+
+    def top(self, k: int) -> List[Trial]:
+        """The ``k`` best trials, best first."""
+        reverse = self.maximize
+        return sorted(self.trials, key=lambda t: t.score, reverse=reverse)[:k]
+
+
+def grid_search(
+    param_grid: Dict[str, Sequence[Any]],
+    evaluate: Callable[[Dict[str, Any]], float],
+    maximize: bool = True,
+) -> SearchResult:
+    """Exhaustive search over the Cartesian product of ``param_grid``.
+
+    ``evaluate`` exceptions are not swallowed: a failing configuration
+    should fail loudly rather than silently score poorly.
+    """
+    if not param_grid:
+        raise ValueError("param_grid must not be empty")
+    for name, values in param_grid.items():
+        if not values:
+            raise ValueError(f"parameter {name!r} has no candidate values")
+    names = sorted(param_grid)
+    trials: List[Trial] = []
+    for combination in itertools.product(*(param_grid[n] for n in names)):
+        params = dict(zip(names, combination))
+        score = float(evaluate(params))
+        trials.append(Trial(params=params, score=score))
+        logger.debug("grid trial %s -> %.5f", params, score)
+    return SearchResult(trials=trials, maximize=maximize)
+
+
+def random_search(
+    param_sampler: Dict[str, Callable[[np.random.Generator], Any]],
+    evaluate: Callable[[Dict[str, Any]], float],
+    n_trials: int,
+    rng: np.random.Generator,
+    maximize: bool = True,
+) -> SearchResult:
+    """Random search: each parameter has a sampler ``rng -> value``."""
+    if n_trials < 1:
+        raise ValueError(f"n_trials must be >= 1, got {n_trials}")
+    if not param_sampler:
+        raise ValueError("param_sampler must not be empty")
+    trials: List[Trial] = []
+    for _ in range(n_trials):
+        params = {name: sampler(rng) for name, sampler in sorted(param_sampler.items())}
+        score = float(evaluate(params))
+        trials.append(Trial(params=params, score=score))
+        logger.debug("random trial %s -> %.5f", params, score)
+    return SearchResult(trials=trials, maximize=maximize)
+
+
+def choice(values: Sequence[Any]) -> Callable[[np.random.Generator], Any]:
+    """Sampler: uniform choice over ``values``."""
+    options = list(values)
+    if not options:
+        raise ValueError("choice needs at least one value")
+    return lambda rng: options[int(rng.integers(0, len(options)))]
+
+
+def log_uniform(low: float, high: float) -> Callable[[np.random.Generator], float]:
+    """Sampler: log-uniform over ``[low, high]`` (for learning rates,
+    regularizer weights)."""
+    if not 0 < low < high:
+        raise ValueError(f"need 0 < low < high, got ({low}, {high})")
+    return lambda rng: float(np.exp(rng.uniform(np.log(low), np.log(high))))

@@ -1,0 +1,30 @@
+"""Deterministic random-number-generator management.
+
+Every stochastic component (initializers, dropout, data generators,
+simulators) receives an explicit ``numpy.random.Generator``.  These
+helpers derive independent child generators from a single experiment
+seed so that runs are reproducible and components do not share streams.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+
+def rng_from_seed(seed: int) -> np.random.Generator:
+    """Create a generator from an integer seed."""
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Uses ``SeedSequence.spawn`` so the children are independent streams
+    regardless of how many draws each consumes.
+    """
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    sequence = np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in sequence.spawn(count)]

@@ -1,0 +1,10 @@
+"""Shared fixtures for the whole test-suite."""
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,144 @@
+"""Tests for the DCMT model and its variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.dcmt import DCMT
+from repro.data import load_scenario
+from repro.data.batching import batch_iterator
+from repro.models import ModelConfig
+from repro.optim import Adam
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    train, test, _ = load_scenario(
+        "ae_es", n_users=60, n_items=80, n_train=4000, n_test=1500
+    )
+    return train, test
+
+
+@pytest.fixture
+def config():
+    return ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+
+
+class TestConstruction:
+    def test_invalid_variant(self, small_world, config):
+        with pytest.raises(ValueError):
+            DCMT(small_world[0].schema, config, variant="bogus")
+
+    def test_invalid_constraint(self, small_world, config):
+        with pytest.raises(ValueError):
+            DCMT(small_world[0].schema, config, constraint="bogus")
+
+    def test_negative_lambda(self, small_world, config):
+        with pytest.raises(ValueError):
+            DCMT(small_world[0].schema, config, lambda1=-1.0)
+
+    def test_model_names(self, small_world, config):
+        schema = small_world[0].schema
+        assert DCMT(schema, config).model_name == "dcmt"
+        assert DCMT(schema, config, variant="pd").model_name == "dcmt_pd"
+        assert DCMT(schema, config, variant="cf").model_name == "dcmt_cf"
+
+
+class TestForward:
+    def test_prediction_fields(self, small_world, config):
+        train, _ = small_world
+        model = DCMT(train.schema, config)
+        preds = model.predict(train.full_batch())
+        n = len(train)
+        assert preds.ctr.shape == (n,)
+        assert preds.cvr.shape == (n,)
+        assert preds.cvr_counterfactual.shape == (n,)
+        assert np.allclose(preds.ctcvr, preds.ctr * preds.cvr)
+
+    def test_probability_ranges(self, small_world, config):
+        train, _ = small_world
+        model = DCMT(train.schema, config)
+        preds = model.predict(train.full_batch())
+        for arr in (preds.ctr, preds.cvr, preds.cvr_counterfactual):
+            assert np.all((arr > 0) & (arr < 1))
+
+    def test_hard_constraint_sums_to_one(self, small_world, config):
+        train, _ = small_world
+        model = DCMT(train.schema, config, constraint="hard")
+        preds = model.predict(train.full_batch())
+        assert np.allclose(preds.cvr + preds.cvr_counterfactual, 1.0)
+
+    def test_soft_constraint_not_forced(self, small_world, config):
+        train, _ = small_world
+        model = DCMT(train.schema, config)
+        preds = model.predict(train.full_batch())
+        assert not np.allclose(preds.cvr + preds.cvr_counterfactual, 1.0)
+
+
+class TestTraining:
+    def _train(self, model, dataset, steps=40, lr=0.01):
+        rng = np.random.default_rng(0)
+        opt = Adam(model.parameters(), lr=lr)
+        losses = []
+        done = 0
+        while done < steps:
+            for batch in batch_iterator(dataset, 256, rng):
+                loss = model.loss(batch)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+                losses.append(loss.item())
+                done += 1
+                if done >= steps:
+                    break
+        return losses
+
+    @pytest.mark.parametrize("variant", ["full", "pd", "cf"])
+    def test_loss_decreases(self, small_world, config, variant):
+        train, _ = small_world
+        model = DCMT(train.schema, config, variant=variant)
+        losses = self._train(model, train)
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_hard_constraint_trains(self, small_world, config):
+        train, _ = small_world
+        model = DCMT(train.schema, config, constraint="hard")
+        losses = self._train(model, train, steps=20)
+        assert np.all(np.isfinite(losses))
+
+    def test_training_improves_soft_constraint_satisfaction(
+        self, small_world, config
+    ):
+        """The regularizer pulls r_hat + r_hat* toward 1 during training."""
+        train, _ = small_world
+        model = DCMT(train.schema, config, lambda1=5.0)
+        before = model.predict(train.full_batch())
+        gap_before = np.abs(
+            1.0 - (before.cvr + before.cvr_counterfactual)
+        ).mean()
+        self._train(model, train, steps=60)
+        after = model.predict(train.full_batch())
+        gap_after = np.abs(1.0 - (after.cvr + after.cvr_counterfactual)).mean()
+        assert gap_after < gap_before
+
+    def test_counterfactual_head_rises_in_non_click_space(
+        self, small_world, config
+    ):
+        """After training, r_hat* should be high on unclicked rows (their
+        mirror label is 1)."""
+        train, _ = small_world
+        model = DCMT(train.schema, config)
+        self._train(model, train, steps=60)
+        preds = model.predict(train.full_batch())
+        unclicked = train.clicks == 0
+        assert preds.cvr_counterfactual[unclicked].mean() > 0.6
+
+    def test_deterministic_given_seed(self, small_world):
+        train, _ = small_world
+        results = []
+        for _ in range(2):
+            model = DCMT(
+                train.schema, ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=3)
+            )
+            self._train(model, train, steps=10)
+            results.append(model.predict(train.full_batch()).cvr)
+        assert np.array_equal(results[0], results[1])

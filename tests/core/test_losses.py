@@ -1,0 +1,200 @@
+"""Tests for the DCMT loss functions (Eq. (7), (8), (9), (13))."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, ops
+from repro.core.losses import (
+    clip_propensity,
+    counterfactual_regularizer,
+    dcmt_cvr_loss,
+    entire_space_ipw_loss,
+    snips_weights,
+)
+
+
+def sample_batch(n=64, seed=0, ctr=0.3):
+    rng = np.random.default_rng(seed)
+    clicks = (rng.random(n) < ctr).astype(np.int64)
+    conversions = clicks * (rng.random(n) < 0.4).astype(np.int64)
+    propensity = np.clip(rng.uniform(0.05, 0.6, n), 0.01, 0.99)
+    return clicks, conversions, propensity
+
+
+class TestClipPropensity:
+    def test_clips_both_sides(self):
+        out = clip_propensity(np.array([0.0, 0.5, 1.0]), 0.1)
+        assert np.allclose(out, [0.1, 0.5, 0.9])
+
+    def test_invalid_floor(self):
+        with pytest.raises(ValueError):
+            clip_propensity(np.array([0.5]), 0.0)
+        with pytest.raises(ValueError):
+            clip_propensity(np.array([0.5]), 0.6)
+
+
+class TestSnipsWeights:
+    def test_groups_sum_to_one(self):
+        clicks, _, propensity = sample_batch()
+        w_f, w_cf = snips_weights(clicks, propensity)
+        assert np.isclose(w_f.sum(), 1.0)
+        assert np.isclose(w_cf.sum(), 1.0)
+
+    def test_disjoint_supports(self):
+        clicks, _, propensity = sample_batch()
+        w_f, w_cf = snips_weights(clicks, propensity)
+        assert np.all(w_f[clicks == 0] == 0.0)
+        assert np.all(w_cf[clicks == 1] == 0.0)
+
+    def test_lower_propensity_gets_higher_factual_weight(self):
+        clicks = np.array([1, 1])
+        propensity = np.array([0.1, 0.5])
+        w_f, _ = snips_weights(clicks, propensity)
+        assert w_f[0] > w_f[1]
+
+    def test_higher_propensity_gets_higher_counterfactual_weight(self):
+        clicks = np.array([0, 0])
+        propensity = np.array([0.1, 0.5])
+        _, w_cf = snips_weights(clicks, propensity)
+        assert w_cf[1] > w_cf[0]
+
+    def test_all_clicked_degenerate(self):
+        w_f, w_cf = snips_weights(np.ones(4), np.full(4, 0.5))
+        assert np.isclose(w_f.sum(), 1.0)
+        assert np.allclose(w_cf, 0.0)
+
+
+class TestEntireSpaceIPW:
+    def test_scalar_finite(self):
+        clicks, conversions, propensity = sample_batch()
+        cvr = ops.sigmoid(Tensor(np.zeros(len(clicks)), requires_grad=True))
+        loss = entire_space_ipw_loss(cvr, clicks, conversions, propensity)
+        assert loss.size == 1
+        assert np.isfinite(loss.item())
+
+    def test_gradient_flows(self):
+        clicks, conversions, propensity = sample_batch()
+        logits = Tensor(np.zeros(len(clicks)), requires_grad=True)
+        loss = entire_space_ipw_loss(
+            ops.sigmoid(logits), clicks, conversions, propensity
+        )
+        loss.backward()
+        assert logits.grad is not None
+        assert np.any(logits.grad != 0)
+
+    def test_snips_toggle_changes_value(self):
+        clicks, conversions, propensity = sample_batch()
+        cvr = ops.sigmoid(Tensor(np.linspace(-1, 1, len(clicks))))
+        a = entire_space_ipw_loss(cvr, clicks, conversions, propensity, use_snips=True)
+        b = entire_space_ipw_loss(cvr, clicks, conversions, propensity, use_snips=False)
+        assert not np.isclose(a.item(), b.item())
+
+    def test_zero_predictions_penalised_on_positives(self):
+        clicks = np.array([1, 1])
+        conversions = np.array([1, 0])
+        propensity = np.array([0.5, 0.5])
+        bad = entire_space_ipw_loss(
+            Tensor(np.array([0.01, 0.01])), clicks, conversions, propensity
+        )
+        good = entire_space_ipw_loss(
+            Tensor(np.array([0.99, 0.01])), clicks, conversions, propensity
+        )
+        assert bad.item() > good.item()
+
+
+class TestCounterfactualRegularizer:
+    def test_zero_when_complementary(self):
+        cvr = Tensor(np.array([0.2, 0.7]))
+        cvr_cf = Tensor(np.array([0.8, 0.3]))
+        assert counterfactual_regularizer(cvr, cvr_cf).item() < 1e-12
+
+    def test_positive_otherwise(self):
+        cvr = Tensor(np.array([0.5]))
+        cvr_cf = Tensor(np.array([0.9]))
+        assert np.isclose(counterfactual_regularizer(cvr, cvr_cf).item(), 0.4)
+
+    def test_gradient_direction(self):
+        """When the sum exceeds 1, gradients push both heads down."""
+        cvr = Tensor(np.array([0.7]), requires_grad=True)
+        cvr_cf = Tensor(np.array([0.7]), requires_grad=True)
+        counterfactual_regularizer(cvr, cvr_cf).backward()
+        assert cvr.grad[0] > 0  # descending reduces cvr
+        assert cvr_cf.grad[0] > 0
+
+
+class TestDCMTLoss:
+    def test_components_combine(self):
+        clicks, conversions, propensity = sample_batch()
+        cvr = ops.sigmoid(Tensor(np.zeros(len(clicks)), requires_grad=True))
+        cvr_cf = ops.sigmoid(Tensor(np.zeros(len(clicks)), requires_grad=True))
+        loss = dcmt_cvr_loss(cvr, cvr_cf, clicks, conversions, propensity, lambda1=1.0)
+        assert np.isfinite(loss.item())
+
+    def test_lambda_zero_drops_regularizer(self):
+        clicks, conversions, propensity = sample_batch()
+        cvr = Tensor(np.full(len(clicks), 0.5))
+        cvr_cf = Tensor(np.full(len(clicks), 0.9))  # violates the prior
+        with_reg = dcmt_cvr_loss(
+            cvr, cvr_cf, clicks, conversions, propensity, lambda1=1.0
+        )
+        without = dcmt_cvr_loss(
+            cvr, cvr_cf, clicks, conversions, propensity, lambda1=0.0
+        )
+        assert with_reg.item() > without.item()
+
+    def test_counterfactual_label_is_mirrored(self):
+        """In N the counterfactual head is supervised toward 1."""
+        clicks = np.zeros(4, dtype=np.int64)
+        conversions = np.zeros(4, dtype=np.int64)
+        propensity = np.full(4, 0.3)
+        high_cf = dcmt_cvr_loss(
+            Tensor(np.full(4, 0.5)),
+            Tensor(np.full(4, 0.95)),
+            clicks,
+            conversions,
+            propensity,
+            lambda1=0.0,
+        )
+        low_cf = dcmt_cvr_loss(
+            Tensor(np.full(4, 0.5)),
+            Tensor(np.full(4, 0.05)),
+            clicks,
+            conversions,
+            propensity,
+            lambda1=0.0,
+        )
+        assert high_cf.item() < low_cf.item()
+
+    def test_factual_term_only_on_clicks(self):
+        """With all rows unclicked, the factual head receives no gradient."""
+        clicks = np.zeros(8, dtype=np.int64)
+        conversions = np.zeros(8, dtype=np.int64)
+        propensity = np.full(8, 0.3)
+        logits_f = Tensor(np.zeros(8), requires_grad=True)
+        logits_cf = Tensor(np.zeros(8), requires_grad=True)
+        loss = dcmt_cvr_loss(
+            ops.sigmoid(logits_f),
+            ops.sigmoid(logits_cf),
+            clicks,
+            conversions,
+            propensity,
+            lambda1=0.0,
+        )
+        loss.backward()
+        assert np.allclose(logits_f.grad, 0.0)
+        assert np.any(logits_cf.grad != 0)
+
+    def test_no_propensity_variant_uniform_weights(self):
+        clicks, conversions, _ = sample_batch()
+        cvr = Tensor(np.full(len(clicks), 0.3))
+        cvr_cf = Tensor(np.full(len(clicks), 0.7))
+        a = dcmt_cvr_loss(
+            cvr, cvr_cf, clicks, conversions, np.full(len(clicks), 0.2),
+            lambda1=0.0, use_propensity=False,
+        )
+        b = dcmt_cvr_loss(
+            cvr, cvr_cf, clicks, conversions, np.full(len(clicks), 0.8),
+            lambda1=0.0, use_propensity=False,
+        )
+        # without propensity usage the propensity values are irrelevant
+        assert np.isclose(a.item(), b.item())

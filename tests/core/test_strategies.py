@@ -1,0 +1,143 @@
+"""Tests for alternative counterfactual strategies (future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dcmt import DCMT
+from repro.core.strategies import STRATEGIES, counterfactual_targets
+from repro.data import load_scenario
+from repro.data.batching import batch_iterator
+from repro.models import ModelConfig
+from repro.optim import Adam
+
+
+class TestCounterfactualTargets:
+    def setup_method(self):
+        self.conversions = np.array([1, 0, 0, 0])
+        self.r_hat = np.array([0.9, 0.7, 0.2, 0.05])
+
+    def test_mirror(self):
+        labels, scale = counterfactual_targets("mirror", self.conversions, self.r_hat)
+        assert np.allclose(labels, [0, 1, 1, 1])
+        assert np.allclose(scale, 1.0)
+
+    def test_smoothed(self):
+        labels, scale = counterfactual_targets(
+            "smoothed", self.conversions, self.r_hat, epsilon=0.2
+        )
+        assert np.allclose(labels, [0.2, 0.8, 0.8, 0.8])
+        assert np.allclose(scale, 1.0)
+
+    def test_self_imputed(self):
+        labels, scale = counterfactual_targets(
+            "self_imputed", self.conversions, self.r_hat
+        )
+        assert np.allclose(labels, 1.0 - self.r_hat)
+        assert np.allclose(scale, 1.0)
+
+    def test_confidence_gated(self):
+        labels, scale = counterfactual_targets(
+            "confidence_gated", self.conversions, self.r_hat
+        )
+        assert np.allclose(labels, [0, 1, 1, 1])
+        # probable converters lose counterfactual weight
+        assert scale[0] < scale[3]
+        assert np.allclose(scale, 1.0 - self.r_hat)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="mirror"):
+            counterfactual_targets("bogus", self.conversions, self.r_hat)
+
+    def test_bad_epsilon(self):
+        with pytest.raises(ValueError):
+            counterfactual_targets(
+                "smoothed", self.conversions, self.r_hat, epsilon=0.5
+            )
+
+    def test_predictions_clipped(self):
+        labels, _ = counterfactual_targets(
+            "self_imputed", self.conversions, np.array([1.5, -0.5, 0.5, 0.5])
+        )
+        assert np.all((labels >= 0) & (labels <= 1))
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, test, _ = load_scenario(
+        "ae_es", n_users=60, n_items=80, n_train=3000, n_test=800
+    )
+    return train, test
+
+
+class TestDCMTStrategies:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_every_strategy_trains(self, world, strategy):
+        train, _ = world
+        model = DCMT(
+            train.schema,
+            ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0),
+            cf_strategy=strategy,
+        )
+        rng = np.random.default_rng(0)
+        opt = Adam(model.parameters(), lr=0.01)
+        losses = []
+        for batch in batch_iterator(train, 512, rng):
+            loss = model.loss(batch)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert all(np.isfinite(losses))
+
+    def test_invalid_strategy_rejected(self, world):
+        train, _ = world
+        with pytest.raises(ValueError, match="cf_strategy"):
+            DCMT(
+                train.schema,
+                ModelConfig(embedding_dim=4, hidden_sizes=(8,)),
+                cf_strategy="bogus",
+            )
+
+    def test_strategies_produce_different_models(self, world):
+        """Different strategies must actually change learning."""
+        train, _ = world
+
+        def train_with(strategy):
+            model = DCMT(
+                train.schema,
+                ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0),
+                cf_strategy=strategy,
+            )
+            rng = np.random.default_rng(0)
+            opt = Adam(model.parameters(), lr=0.01)
+            for batch in batch_iterator(train, 512, rng):
+                loss = model.loss(batch)
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return model.predict(train.full_batch()).cvr_counterfactual
+
+        mirror = train_with("mirror")
+        imputed = train_with("self_imputed")
+        assert not np.allclose(mirror, imputed)
+
+    def test_mirror_matches_default_loss(self, world):
+        """cf_strategy='mirror' is the paper's loss, bit-for-bit."""
+        train, _ = world
+        config = ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+        explicit = DCMT(train.schema, config, cf_strategy="mirror")
+        batch = train.full_batch()
+        from repro.core.losses import dcmt_cvr_loss
+
+        outputs = explicit.forward_tensors(batch)
+        via_strategy = explicit.cvr_task_loss(outputs, batch).item()
+        direct = dcmt_cvr_loss(
+            outputs["cvr"],
+            outputs["cvr_counterfactual"],
+            batch.clicks,
+            batch.conversions,
+            outputs["ctr"].data,
+            lambda1=explicit.lambda1,
+            floor=explicit.config.propensity_floor,
+        ).item()
+        assert np.isclose(via_strategy, direct, atol=1e-12)

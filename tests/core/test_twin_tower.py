@@ -1,0 +1,68 @@
+"""Tests for the twin tower (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.core.twin_tower import TwinTower
+
+
+class TestStructure:
+    def test_outputs_are_probabilities(self, rng):
+        tower = TwinTower(6, 4, [8, 8], rng)
+        deep = Tensor(rng.normal(size=(10, 6)))
+        wide = Tensor(rng.normal(size=(10, 4)))
+        cvr, cvr_cf = tower(deep, wide)
+        for out in (cvr, cvr_cf):
+            assert out.shape == (10,)
+            assert np.all((out.data > 0) & (out.data < 1))
+
+    def test_heads_differ(self, rng):
+        tower = TwinTower(6, 0, [8], rng)
+        deep = Tensor(rng.normal(size=(5, 6)))
+        cvr, cvr_cf = tower(deep, None)
+        assert not np.allclose(cvr.data, cvr_cf.data)
+
+    def test_pure_deep_mode(self, rng):
+        tower = TwinTower(6, 0, [8], rng)
+        assert tower.wide_factual is None
+        cvr, cvr_cf = tower(Tensor(np.ones((3, 6))), None)
+        assert cvr.shape == (3,)
+
+    def test_requires_hidden_layers(self, rng):
+        with pytest.raises(ValueError):
+            TwinTower(6, 4, [], rng)
+
+    def test_trunk_is_shared(self, rng):
+        """theta_d appears once: trunk params shared by both heads."""
+        tower = TwinTower(6, 4, [8], rng)
+        names = [n for n, _ in tower.named_parameters()]
+        trunk_names = [n for n in names if n.startswith("trunk.")]
+        assert trunk_names  # the shared trunk exists
+        assert any(n.startswith("head_factual.") for n in names)
+        assert any(n.startswith("head_counterfactual.") for n in names)
+
+    def test_gradients_reach_both_specific_heads(self, rng):
+        tower = TwinTower(4, 2, [6], rng)
+        deep = Tensor(rng.normal(size=(4, 4)))
+        wide = Tensor(rng.normal(size=(4, 2)))
+        cvr, cvr_cf = tower(deep, wide)
+        (cvr.sum() + cvr_cf.sum()).backward()
+        assert tower.head_factual.weight.grad is not None
+        assert tower.head_counterfactual.weight.grad is not None
+        assert tower.wide_factual.weight.grad is not None
+        assert tower.wide_counterfactual.weight.grad is not None
+        assert tower.trunk.hidden_layers[0].weight.grad is not None
+
+    def test_factual_loss_only_updates_factual_specific_params(self, rng):
+        """Specific parameters are specific: a loss on the factual head
+        leaves the counterfactual head's parameters untouched."""
+        tower = TwinTower(4, 2, [6], rng)
+        deep = Tensor(rng.normal(size=(4, 4)))
+        wide = Tensor(rng.normal(size=(4, 2)))
+        cvr, _ = tower(deep, wide)
+        cvr.sum().backward()
+        assert tower.head_counterfactual.weight.grad is None
+        assert tower.wide_counterfactual.weight.grad is None
+        # but the shared trunk does receive gradient
+        assert tower.trunk.hidden_layers[0].weight.grad is not None

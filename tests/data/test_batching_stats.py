@@ -1,0 +1,98 @@
+"""Tests for batching and dataset statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import batch_iterator
+from repro.data.dataset import InteractionDataset
+from repro.data.schema import FeatureSchema, SparseFeature
+from repro.data.stats import dataset_statistics, selection_bias_summary
+
+
+def make_dataset(n=100, seed=0):
+    rng = np.random.default_rng(seed)
+    clicks = (rng.random(n) < 0.3).astype(np.int64)
+    conversions = clicks * (rng.random(n) < 0.5).astype(np.int64)
+    schema = FeatureSchema(sparse=[SparseFeature("user_id", n)])
+    return InteractionDataset(
+        name="batching",
+        schema=schema,
+        sparse={"user_id": np.arange(n)},
+        dense={},
+        clicks=clicks,
+        conversions=conversions,
+    )
+
+
+class TestBatchIterator:
+    def test_covers_all_rows_once(self, rng):
+        ds = make_dataset(100)
+        seen = np.concatenate(
+            [b.sparse["user_id"] for b in batch_iterator(ds, 32, rng)]
+        )
+        assert sorted(seen.tolist()) == list(range(100))
+
+    def test_batch_sizes(self, rng):
+        ds = make_dataset(100)
+        sizes = [b.size for b in batch_iterator(ds, 32, rng)]
+        assert sizes == [32, 32, 32, 4]
+
+    def test_drop_last(self, rng):
+        ds = make_dataset(100)
+        sizes = [b.size for b in batch_iterator(ds, 32, rng, drop_last=True)]
+        assert sizes == [32, 32, 32]
+
+    def test_no_shuffle_is_ordered(self):
+        ds = make_dataset(10)
+        batches = list(batch_iterator(ds, 4, shuffle=False))
+        assert batches[0].sparse["user_id"].tolist() == [0, 1, 2, 3]
+
+    def test_shuffle_requires_rng(self):
+        ds = make_dataset(10)
+        with pytest.raises(ValueError):
+            list(batch_iterator(ds, 4, shuffle=True))
+
+    def test_shuffle_changes_order(self, rng):
+        ds = make_dataset(50)
+        first = next(iter(batch_iterator(ds, 50, rng)))
+        assert first.sparse["user_id"].tolist() != list(range(50))
+
+    def test_invalid_batch_size(self, rng):
+        with pytest.raises(ValueError):
+            list(batch_iterator(make_dataset(10), 0, rng))
+
+    def test_labels_aligned_with_features(self, rng):
+        """Shuffling must permute labels and features together."""
+        ds = make_dataset(64)
+        for batch in batch_iterator(ds, 16, rng):
+            ids = batch.sparse["user_id"]
+            assert np.array_equal(batch.clicks, ds.clicks[ids])
+            assert np.array_equal(batch.conversions, ds.conversions[ids])
+
+
+class TestStatistics:
+    def test_counts(self):
+        ds = make_dataset(200, seed=1)
+        stats = dataset_statistics(ds)
+        assert stats.n_exposures == 200
+        assert stats.n_clicks == int(ds.clicks.sum())
+        assert stats.n_conversions == int(ds.conversions.sum())
+        assert 0 < stats.ctr < 1
+        assert stats.conversion_rate_overall <= stats.ctr
+
+    def test_rates_guard_against_zero_division(self):
+        schema = FeatureSchema(sparse=[SparseFeature("user_id", 1)])
+        ds = InteractionDataset(
+            name="empty-clicks",
+            schema=schema,
+            sparse={"user_id": np.zeros(3, dtype=np.int64)},
+            dense={},
+            clicks=np.zeros(3, dtype=np.int64),
+            conversions=np.zeros(3, dtype=np.int64),
+        )
+        stats = dataset_statistics(ds)
+        assert stats.cvr_given_click == 0.0
+
+    def test_selection_bias_requires_oracle(self):
+        with pytest.raises(ValueError):
+            selection_bias_summary(make_dataset(10))

@@ -1,0 +1,82 @@
+"""Tests for non-click downsampling with importance reweighting."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.data.sampling import (
+    WEIGHT_COLUMN,
+    downsample_non_clicks,
+    effective_exposure_count,
+    sample_weights,
+    weighted_rates,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    train, _, _ = load_scenario(
+        "ae_es", n_users=80, n_items=100, n_train=20_000, n_test=1000
+    )
+    return train
+
+
+class TestDownsampling:
+    def test_all_clicks_kept(self, dataset, rng):
+        sub = downsample_non_clicks(dataset, keep_rate=0.1, rng=rng)
+        assert sub.n_clicks == dataset.n_clicks
+        assert sub.n_conversions == dataset.n_conversions
+
+    def test_non_clicks_reduced(self, dataset, rng):
+        sub = downsample_non_clicks(dataset, keep_rate=0.1, rng=rng)
+        original_unclicked = dataset.n_exposures - dataset.n_clicks
+        kept_unclicked = sub.n_exposures - sub.n_clicks
+        assert kept_unclicked < 0.2 * original_unclicked
+
+    def test_weights_assigned(self, dataset, rng):
+        sub = downsample_non_clicks(dataset, keep_rate=0.25, rng=rng)
+        weights = sample_weights(sub)
+        assert np.all(weights[sub.clicks == 1] == 1.0)
+        assert np.all(weights[sub.clicks == 0] == 4.0)
+        assert WEIGHT_COLUMN in sub.dense
+
+    def test_keep_rate_one_is_identity_with_weights(self, dataset, rng):
+        sub = downsample_non_clicks(dataset, keep_rate=1.0, rng=rng)
+        assert len(sub) == len(dataset)
+        assert np.all(sample_weights(sub) == 1.0)
+
+    def test_invalid_keep_rate(self, dataset, rng):
+        with pytest.raises(ValueError):
+            downsample_non_clicks(dataset, 0.0, rng)
+        with pytest.raises(ValueError):
+            downsample_non_clicks(dataset, 1.5, rng)
+
+
+class TestUnbiasedness:
+    def test_effective_count_estimates_original(self, dataset, rng):
+        sub = downsample_non_clicks(dataset, keep_rate=0.2, rng=rng)
+        estimate = effective_exposure_count(sub)
+        assert abs(estimate - len(dataset)) / len(dataset) < 0.05
+
+    def test_weighted_rates_recover_marginals(self, dataset, rng):
+        sub = downsample_non_clicks(dataset, keep_rate=0.1, rng=rng)
+        ctr, cvr = weighted_rates(sub)
+        assert abs(ctr - dataset.ctr) / dataset.ctr < 0.1
+        assert abs(cvr - dataset.cvr_given_click) < 1e-12  # O untouched
+        # the NAIVE (unweighted) CTR on the subsample is inflated
+        assert sub.ctr > 2 * dataset.ctr
+
+    def test_weights_on_unsampled_dataset(self, dataset):
+        assert np.all(sample_weights(dataset) == 1.0)
+        assert effective_exposure_count(dataset) == len(dataset)
+
+    def test_monte_carlo_unbiasedness(self, dataset):
+        """Averaged over many subsample draws, the weighted exposure
+        count matches the original exactly (not just approximately)."""
+        estimates = []
+        for seed in range(30):
+            sub = downsample_non_clicks(
+                dataset, keep_rate=0.15, rng=np.random.default_rng(seed)
+            )
+            estimates.append(effective_exposure_count(sub))
+        assert abs(np.mean(estimates) - len(dataset)) / len(dataset) < 0.01

@@ -1,0 +1,111 @@
+"""Tests for feature schemas."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import (
+    DenseFeature,
+    FeatureSchema,
+    SparseFeature,
+    paper_like_schema,
+)
+
+
+class TestFeatureDefinitions:
+    def test_sparse_defaults(self):
+        f = SparseFeature("user_id", 100)
+        assert f.group == "user"
+        assert f.kind == "deep"
+
+    def test_sparse_invalid_vocab(self):
+        with pytest.raises(ValueError):
+            SparseFeature("x", 0)
+
+    def test_sparse_invalid_group(self):
+        with pytest.raises(ValueError):
+            SparseFeature("x", 10, group="bogus")
+
+    def test_sparse_invalid_kind(self):
+        with pytest.raises(ValueError):
+            SparseFeature("x", 10, kind="bogus")
+
+    def test_dense_invalid_dim(self):
+        with pytest.raises(ValueError):
+            DenseFeature("x", dim=0)
+
+    def test_dense_invalid_group(self):
+        with pytest.raises(ValueError):
+            DenseFeature("x", group="nope")
+
+
+class TestFeatureSchema:
+    def build(self):
+        return FeatureSchema(
+            sparse=[
+                SparseFeature("user_id", 10, kind="deep"),
+                SparseFeature("cross", 5, group="combination", kind="wide"),
+            ],
+            dense=[DenseFeature("score", dim=2, kind="deep")],
+        )
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureSchema(
+                sparse=[SparseFeature("a", 2)], dense=[DenseFeature("a")]
+            )
+
+    def test_kind_filters(self):
+        schema = self.build()
+        assert [f.name for f in schema.sparse_by_kind("deep")] == ["user_id"]
+        assert [f.name for f in schema.sparse_by_kind("wide")] == ["cross"]
+
+    def test_has_wide_features(self):
+        assert self.build().has_wide_features
+        deep_only = FeatureSchema(sparse=[SparseFeature("a", 2)])
+        assert not deep_only.has_wide_features
+
+    def test_embedded_width(self):
+        schema = self.build()
+        # deep: 1 sparse * 4 + dense dim 2 = 6; wide: 1 sparse * 4 = 4
+        assert schema.embedded_width(4, "deep") == 6
+        assert schema.embedded_width(4, "wide") == 4
+
+    def test_vocab_sizes(self):
+        assert self.build().vocab_sizes() == {"user_id": 10, "cross": 5}
+
+    def test_validate_batch_missing_feature(self):
+        schema = self.build()
+        with pytest.raises(KeyError):
+            schema.validate_batch_arrays({}, {"score": np.zeros((2, 2))})
+
+    def test_validate_batch_out_of_range(self):
+        schema = self.build()
+        with pytest.raises(ValueError):
+            schema.validate_batch_arrays(
+                {"user_id": np.array([99]), "cross": np.array([0])},
+                {"score": np.zeros((1, 2))},
+            )
+
+    def test_validate_batch_ok(self):
+        schema = self.build()
+        schema.validate_batch_arrays(
+            {"user_id": np.array([0, 9]), "cross": np.array([0, 4])},
+            {"score": np.zeros((2, 2))},
+        )
+
+
+class TestPaperLikeSchema:
+    def test_contains_expected_groups(self):
+        schema = paper_like_schema(100, 50)
+        groups = {f.group for f in schema.sparse}
+        assert groups == {"user", "item", "context", "combination"}
+
+    def test_wide_toggle(self):
+        schema = paper_like_schema(100, 50, include_wide=False)
+        assert not schema.has_wide_features
+
+    def test_ids_cover_population(self):
+        schema = paper_like_schema(123, 45)
+        sizes = schema.vocab_sizes()
+        assert sizes["user_id"] == 123
+        assert sizes["item_id"] == 45

@@ -1,0 +1,72 @@
+"""Tests for ExperimentConfig."""
+
+import pytest
+
+from repro.data.scenarios import scenario_config
+from repro.experiments.configs import (
+    BASELINE_MODELS,
+    OFFLINE_DATASETS,
+    TABLE4_MODELS,
+    ExperimentConfig,
+)
+
+
+class TestValidation:
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=0.0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale=1.5)
+
+    def test_empty_seeds(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(seeds=())
+
+
+class TestDerivedConfigs:
+    def test_model_config_seeded(self):
+        config = ExperimentConfig()
+        assert config.model_config(3).seed == 3
+        assert config.model_config(3).embedding_dim == config.embedding_dim
+
+    def test_train_config_fields(self):
+        config = ExperimentConfig(epochs=2)
+        tc = config.train_config(1)
+        assert tc.epochs == 2
+        assert tc.seed == 1
+
+    def test_scenario_full_scale_untouched(self):
+        config = ExperimentConfig(scale=1.0)
+        assert config.scenario("ae_es") == scenario_config("ae_es")
+
+    def test_scenario_scaled_down(self):
+        config = ExperimentConfig(scale=0.5)
+        base = scenario_config("ae_es")
+        scaled = config.scenario("ae_es")
+        assert scaled.n_train == base.n_train // 2
+        assert scaled.n_test == base.n_test // 2
+
+    def test_scenario_scale_floor(self):
+        config = ExperimentConfig(scale=0.01)
+        scaled = config.scenario("ae_es")
+        assert scaled.n_train >= 4000
+        assert scaled.n_test >= 2000
+
+    def test_scenario_extra_overrides(self):
+        config = ExperimentConfig(scale=0.5)
+        scaled = config.scenario("ae_es", n_users=99)
+        assert scaled.n_users == 99
+
+    def test_with_overrides(self):
+        config = ExperimentConfig().with_overrides(epochs=3)
+        assert config.epochs == 3
+
+
+class TestConstants:
+    def test_dataset_list_matches_paper(self):
+        assert OFFLINE_DATASETS == ("ali_ccp", "ae_es", "ae_fr", "ae_nl", "ae_us")
+
+    def test_model_columns(self):
+        assert TABLE4_MODELS[-1] == "dcmt"
+        assert "dcmt" not in BASELINE_MODELS
+        assert set(BASELINE_MODELS) < set(TABLE4_MODELS)

@@ -1,0 +1,140 @@
+"""Integration tests for the experiment harness at tiny scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.fig8_hyperparams import (
+    DEPTH_STRUCTURES,
+    run_fig8d_hard_constraint,
+)
+from repro.experiments.runner import build_parser, main
+from repro.experiments.table2_datasets import run_table2
+from repro.experiments.table3_models import run_table3
+from repro.experiments.table4_offline import run_table4
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig(scale=0.05, seeds=(0,), epochs=1)
+
+
+class TestTable2:
+    def test_runs_and_renders(self, tiny_config):
+        result = run_table2(tiny_config, datasets=["ae_es", "alipay_search"])
+        text = result.render()
+        assert "ae_es" in text
+        assert "alipay_search" in text
+        assert len(result.rows) == 4
+
+    def test_funnel_invariant(self, tiny_config):
+        result = run_table2(tiny_config, datasets=["ae_es"])
+        for row in result.rows:
+            stats = row.stats
+            assert stats.n_conversions <= stats.n_clicks <= stats.n_exposures
+
+
+class TestTable3:
+    def test_all_models_present(self, tiny_config):
+        result = run_table3(tiny_config)
+        text = result.render()
+        for name in ("esmm", "mmoe", "dcmt", "escm2_dr"):
+            assert name in text
+
+
+class TestTable4:
+    def test_small_run_structure(self, tiny_config):
+        result = run_table4(
+            tiny_config,
+            datasets=["ae_es"],
+            models=["esmm", "dcmt_pd", "dcmt"],
+        )
+        assert set(result.cells) == {
+            ("ae_es", "esmm"),
+            ("ae_es", "dcmt_pd"),
+            ("ae_es", "dcmt"),
+        }
+        text = result.render()
+        assert "Improvement" in text
+        assert np.isfinite(result.improvement("ae_es"))
+
+    def test_requires_dcmt(self, tiny_config):
+        with pytest.raises(ValueError, match="dcmt"):
+            run_table4(tiny_config, datasets=["ae_es"], models=["esmm"])
+
+    def test_best_baseline_excludes_dcmt_variants(self, tiny_config):
+        result = run_table4(
+            tiny_config,
+            datasets=["ae_es"],
+            models=["esmm", "mmoe", "dcmt_cf", "dcmt"],
+        )
+        best_name, _ = result.best_baseline("ae_es")
+        assert best_name in ("esmm", "mmoe")
+
+
+class TestFig8:
+    def test_depth_structures_complete(self):
+        assert set(DEPTH_STRUCTURES) == {1, 2, 3, 4, 5, 6}
+        for depth, sizes in DEPTH_STRUCTURES.items():
+            assert len(sizes) == depth
+
+    def test_fig8d_tiny(self, tiny_config):
+        result = run_fig8d_hard_constraint(tiny_config, n_samples=50)
+        assert len(result.factual) == 50
+        assert result.max_sum_violation < 1e-9
+        assert "hard constraint" in result.render()
+
+
+class TestRunnerCLI:
+    def test_parser_artifacts(self):
+        parser = build_parser()
+        args = parser.parse_args(["table3", "--scale", "0.1", "--seeds", "0"])
+        assert args.artifact == "table3"
+        assert args.scale == 0.1
+
+    def test_invalid_artifact(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table99"])
+
+    def test_main_table3(self, capsys):
+        exit_code = main(["table3", "--scale", "0.05", "--seeds", "0", "--epochs", "1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Table III" in out
+
+    def test_main_fig8_with_svg_dir(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "fig8d",
+                "--scale",
+                "0.05",
+                "--seeds",
+                "0",
+                "--epochs",
+                "1",
+                "--svg-dir",
+                str(tmp_path),
+            ]
+        )
+        assert exit_code == 0
+        # fig8d has no SVG representation; the run must still succeed
+        out = capsys.readouterr().out
+        assert "hard constraint" in out
+
+    def test_main_report(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "report",
+                "--scale",
+                "0.05",
+                "--seeds",
+                "0",
+                "--epochs",
+                "1",
+                "--out",
+                str(tmp_path / "rep"),
+            ]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "rep" / "README.md").exists()

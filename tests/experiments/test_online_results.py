@@ -1,0 +1,104 @@
+"""Render-level tests for the Table V / Fig. 7 result objects.
+
+These use hand-built ABTestResult objects, so they run in milliseconds
+and pin down the exact presentation semantics (lift signs, significance
+markers, posterior ordering) independent of any training.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig7_distribution import Fig7Result
+from repro.experiments.table5_online import Table5Result
+from repro.metrics.classification import prediction_summary
+from repro.simulation.ab_test import ABTestResult, BucketDay
+
+
+def bucket_day(page_views, clicks, conversions, top_conversions):
+    return BucketDay(
+        page_views=page_views,
+        impressions=page_views * 10,
+        top_impressions=page_views * 5,
+        clicks=clicks,
+        conversions=conversions,
+        top_conversions=top_conversions,
+    )
+
+
+@pytest.fixture
+def fake_result(rng):
+    days = {
+        "mmoe": [bucket_day(1000, 4000, 1000, 600) for _ in range(2)],
+        "dcmt": [
+            bucket_day(1000, 4200, 1150, 700),
+            bucket_day(1000, 4100, 1100, 650),
+        ],
+    }
+    preds_mmoe = rng.uniform(0.4, 0.9, 500)
+    preds_dcmt = rng.uniform(0.2, 0.6, 500)
+    true_cvr = rng.uniform(0.1, 0.8, 500)
+    clicks = (rng.random(500) < 0.4).astype(np.int64)
+    return ABTestResult(
+        base_bucket="mmoe",
+        days=days,
+        day1_cvr_predictions={"mmoe": preds_mmoe, "dcmt": preds_dcmt},
+        day1_true_cvr={"mmoe": true_cvr, "dcmt": true_cvr},
+        day1_clicks={"mmoe": clicks, "dcmt": clicks},
+    )
+
+
+class TestTable5Render:
+    def test_render_contains_lifts(self, fake_result):
+        text = Table5Result(ab_result=fake_result, days=2).render()
+        assert "Table V" in text
+        assert "dcmt" in text
+        assert "Overall" in text
+        # dcmt had more conversions -> positive pv_cvr lift somewhere
+        assert "+" in text
+
+    def test_overall_lift_sign(self, fake_result):
+        lift = fake_result.overall_lift("dcmt", "pv_cvr")
+        assert lift.lift > 0  # 2250 vs 2000 conversions
+
+    def test_significance_marker_semantics(self, fake_result):
+        lift = fake_result.overall_lift("dcmt", "pv_cvr")
+        text = Table5Result(ab_result=fake_result, days=2).render()
+        if lift.significant_95:
+            assert "*" in text
+
+
+class TestFig7Result:
+    def build(self, fake_result):
+        summaries = {
+            m: prediction_summary(p)
+            for m, p in fake_result.day1_cvr_predictions.items()
+        }
+        return Fig7Result(
+            posterior_d=fake_result.posterior_cvr("D"),
+            posterior_o=fake_result.posterior_cvr("O"),
+            posterior_n=fake_result.posterior_cvr("N"),
+            summaries=summaries,
+            predictions=dict(fake_result.day1_cvr_predictions),
+        )
+
+    def test_distance_metric(self, fake_result):
+        fig7 = self.build(fake_result)
+        for model in ("mmoe", "dcmt"):
+            expected = abs(fig7.mean_prediction(model) - fig7.posterior_d)
+            assert fig7.distance_to_posterior_d(model) == expected
+
+    def test_render_sections(self, fake_result):
+        fig7 = self.build(fake_result)
+        text = fig7.render()
+        assert "posterior CVR" in text
+        assert "mmoe CVR predictions" in text
+        assert "dcmt CVR predictions" in text
+
+    def test_svg_per_model(self, fake_result):
+        import xml.etree.ElementTree as ET
+
+        fig7 = self.build(fake_result)
+        svg = fig7.to_svg("dcmt")
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+        assert "posterior D" in svg

@@ -1,0 +1,49 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.report import generate_report
+
+
+@pytest.fixture(scope="module")
+def tiny_report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("report")
+    config = ExperimentConfig(scale=0.05, seeds=(0,), epochs=1)
+    return generate_report(out, config, include_online=False)
+
+
+class TestReport:
+    def test_markdown_written(self, tiny_report):
+        text = tiny_report.markdown_path.read_text()
+        assert text.startswith("# DCMT reproduction report")
+        for section in ("Table II", "Table III", "Table IV", "Fig. 8(a)"):
+            assert section in text
+
+    def test_online_sections_skippable(self, tiny_report):
+        text = tiny_report.markdown_path.read_text()
+        assert "Table V" not in text
+        assert "Fig. 7" not in text
+
+    def test_svgs_written(self, tiny_report):
+        names = {p.name for p in tiny_report.svg_paths}
+        assert {"fig8a.svg", "fig8b.svg", "fig8c.svg"} <= names
+        for path in tiny_report.svg_paths:
+            assert path.exists()
+            assert path.read_text().startswith("<svg")
+
+    def test_runtimes_recorded(self, tiny_report):
+        assert set(tiny_report.runtimes) >= {
+            "Table II",
+            "Table III",
+            "Table IV",
+            "Fig. 8(a)",
+            "Fig. 8(b)",
+            "Fig. 8(c)",
+            "Fig. 8(d)",
+        }
+        assert all(t >= 0 for t in tiny_report.runtimes.values())
+
+    def test_config_echoed(self, tiny_report):
+        text = tiny_report.markdown_path.read_text()
+        assert "scale: 0.05" in text

@@ -1,0 +1,82 @@
+"""Tests for the dependency-free SVG chart writer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.experiments.svg import histogram_chart, line_chart, save_svg
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = line_chart({"dcmt": [0.6, 0.7, 0.65]}, [4, 8, 16], title="t")
+        root = parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_polyline_per_series(self):
+        svg = line_chart(
+            {"a": [0.1, 0.2], "b": [0.3, 0.4]}, ["x1", "x2"]
+        )
+        root = parse(svg)
+        polylines = [e for e in root.iter() if e.tag.endswith("polyline")]
+        assert len(polylines) == 2
+
+    def test_legend_contains_series_names(self):
+        svg = line_chart({"my_series": [0.5, 0.6]}, [1, 2])
+        assert "my_series" in svg
+
+    def test_constant_series(self):
+        svg = line_chart({"flat": [0.5, 0.5, 0.5]}, [1, 2, 3])
+        parse(svg)  # must not divide by zero
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({}, [1, 2])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [0.5]}, [1, 2])
+
+    def test_title_escaped(self):
+        svg = line_chart({"a": [0.1, 0.2]}, [1, 2], title="<&>")
+        parse(svg)
+        assert "&lt;&amp;&gt;" in svg
+
+
+class TestHistogram:
+    def test_valid_xml_with_bars(self, rng):
+        svg = histogram_chart(rng.random(500), n_bins=10)
+        root = parse(svg)
+        bars = [e for e in root.iter() if e.tag.endswith("rect")]
+        assert len(bars) >= 10  # 10 bins + background
+
+    def test_reference_lines(self, rng):
+        svg = histogram_chart(
+            rng.random(100),
+            reference_lines={"posterior D": 0.3, "posterior O": 0.8},
+        )
+        root = parse(svg)
+        dashed = [
+            e
+            for e in root.iter()
+            if e.tag.endswith("line") and e.get("stroke-dasharray")
+        ]
+        assert len(dashed) == 2
+        assert "posterior D=0.300" in svg
+
+    def test_constant_values(self):
+        svg = histogram_chart(np.full(50, 0.4))
+        parse(svg)
+
+
+class TestSaveSvg:
+    def test_writes_file(self, tmp_path, rng):
+        svg = histogram_chart(rng.random(10))
+        out = save_svg(svg, tmp_path / "sub" / "fig.svg")
+        assert out.exists()
+        assert out.read_text().startswith("<svg")

@@ -1,0 +1,62 @@
+"""Tests for the ASCII rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.tables import render_histogram, render_series, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["A", "Long header"], [[1, 2.5], ["x", 3.25]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert "Long header" in lines[0]
+        assert "-" in lines[1]
+
+    def test_title(self):
+        out = render_table(["A"], [[1]], title="My title")
+        assert out.splitlines()[0] == "My title"
+
+    def test_floats_formatted(self):
+        out = render_table(["A"], [[0.123456]])
+        assert "0.1235" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [[1]])
+
+    def test_columns_aligned(self):
+        out = render_table(["A", "B"], [["xx", 1], ["y", 22]])
+        lines = out.splitlines()
+        # the B column starts at the same offset in every row
+        offset = lines[0].index("B")
+        assert lines[2][offset] != " " or lines[3][offset] != " "
+
+
+class TestRenderSeries:
+    def test_contains_values(self):
+        out = render_series([1, 2], [0.5, 0.7], "x", "auc")
+        assert "x=" in out
+        assert "auc=0.5000" in out
+        assert "#" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            render_series([1], [0.5, 0.6], "x", "y")
+
+    def test_constant_series_no_crash(self):
+        out = render_series([1, 2], [0.5, 0.5], "x", "y")
+        assert out.count("\n") == 1
+
+
+class TestRenderHistogram:
+    def test_bin_count(self):
+        out = render_histogram(np.random.default_rng(0).random(100), n_bins=10)
+        assert len(out.splitlines()) == 10
+
+    def test_counts_sum(self):
+        values = np.array([0.05, 0.15, 0.15, 0.95])
+        out = render_histogram(values, n_bins=10)
+        total = sum(int(line.rsplit(" ", 1)[-1]) for line in out.splitlines())
+        assert total == 4

@@ -1,0 +1,58 @@
+"""Tests for log-loss, ECE, and prediction summaries."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import expected_calibration_error, log_loss, prediction_summary
+
+
+class TestLogLoss:
+    def test_perfect_predictions(self):
+        assert log_loss(np.array([1.0, 0.0]), np.array([1.0, 0.0])) < 1e-9
+
+    def test_coin_flip_value(self):
+        value = log_loss(np.array([1, 0]), np.array([0.5, 0.5]))
+        assert np.isclose(value, np.log(2))
+
+    def test_clipping_keeps_finite(self):
+        assert np.isfinite(log_loss(np.array([1.0]), np.array([0.0])))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            log_loss(np.array([1.0]), np.array([0.5, 0.5]))
+
+
+class TestECE:
+    def test_perfectly_calibrated(self, rng):
+        p = rng.random(200_000)
+        y = (rng.random(200_000) < p).astype(float)
+        assert expected_calibration_error(y, p) < 0.01
+
+    def test_maximally_miscalibrated(self):
+        y = np.zeros(1000)
+        p = np.full(1000, 0.99)
+        assert expected_calibration_error(y, p) > 0.9
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            expected_calibration_error(np.array([1.0]), np.array([0.5]), n_bins=0)
+
+    def test_overconfident_worse_than_matched(self, rng):
+        y = (rng.random(5000) < 0.3).astype(float)
+        matched = np.full(5000, 0.3)
+        overconfident = np.where(y == 1, 0.95, 0.65)
+        assert expected_calibration_error(y, matched) < expected_calibration_error(
+            y, overconfident
+        )
+
+
+class TestPredictionSummary:
+    def test_fields(self, rng):
+        summary = prediction_summary(rng.random(1000))
+        assert set(summary) == {"mean", "std", "p10", "median", "p90"}
+        assert summary["p10"] <= summary["median"] <= summary["p90"]
+
+    def test_constant_vector(self):
+        summary = prediction_summary(np.full(10, 0.4))
+        assert summary["mean"] == 0.4
+        assert summary["std"] == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the prediction diagnostic tables."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.diagnostics import (
+    BucketRow,
+    bias_by_propensity,
+    decile_lift_table,
+    render_bucket_table,
+)
+
+
+def calibrated_world(n=20_000, seed=0):
+    rng = np.random.default_rng(seed)
+    p = rng.uniform(0.05, 0.6, n)
+    y = (rng.random(n) < p).astype(float)
+    return y, p
+
+
+class TestDecileLift:
+    def test_bucket_structure(self):
+        y, p = calibrated_world()
+        rows = decile_lift_table(y, p)
+        assert len(rows) == 10
+        assert sum(r.count for r in rows) == len(y)
+        # buckets ordered by score
+        for a, b in zip(rows, rows[1:]):
+            assert a.upper <= b.lower + 1e-12
+
+    def test_calibrated_model_has_small_bias(self):
+        y, p = calibrated_world()
+        rows = decile_lift_table(y, p)
+        assert all(abs(r.bias) < 0.03 for r in rows)
+
+    def test_inflated_model_shows_positive_bias(self):
+        y, p = calibrated_world()
+        inflated = np.clip(p * 1.8, 0, 1)
+        rows = decile_lift_table(y, inflated)
+        assert np.mean([r.bias for r in rows]) > 0.05
+
+    def test_lift_property(self):
+        row = BucketRow(0, 10, 0.0, 1.0, 0.4, 0.2)
+        assert row.lift == 2.0
+        zero = BucketRow(0, 10, 0.0, 1.0, 0.4, 0.0)
+        assert zero.lift is None
+
+    def test_validation(self):
+        y, p = calibrated_world(n=100)
+        with pytest.raises(ValueError):
+            decile_lift_table(y, p[:50])
+        with pytest.raises(ValueError):
+            decile_lift_table(y, p, n_buckets=1)
+        with pytest.raises(ValueError):
+            decile_lift_table(y[:5], p[:5], n_buckets=10)
+
+
+class TestBiasByPropensity:
+    def test_selection_bias_signature(self):
+        """A click-space-trained estimate (inflated where propensity is
+        low) produces a decreasing bias profile across buckets."""
+        rng = np.random.default_rng(1)
+        n = 30_000
+        true_cvr = rng.uniform(0.05, 0.5, n)
+        propensity = np.clip(0.1 + 0.8 * true_cvr + rng.normal(0, 0.1, n), 0.02, 0.95)
+        labels = (rng.random(n) < true_cvr).astype(float)
+        # inflate low-propensity predictions, mimicking O-conditioning
+        biased_pred = np.clip(true_cvr + 0.3 * (1 - propensity), 0, 1)
+        rows = bias_by_propensity(labels, biased_pred, propensity)
+        assert rows[0].bias > rows[-1].bias + 0.05
+
+    def test_flat_for_oracle(self):
+        rng = np.random.default_rng(2)
+        n = 30_000
+        true_cvr = rng.uniform(0.05, 0.5, n)
+        propensity = rng.uniform(0.05, 0.9, n)
+        labels = (rng.random(n) < true_cvr).astype(float)
+        rows = bias_by_propensity(labels, true_cvr, propensity)
+        assert all(abs(r.bias) < 0.02 for r in rows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bias_by_propensity(np.zeros(4), np.zeros(4), np.zeros(3))
+
+
+class TestRendering:
+    def test_render(self):
+        y, p = calibrated_world(n=1000)
+        text = render_bucket_table(decile_lift_table(y, p), title="Deciles")
+        assert text.startswith("Deciles")
+        assert "Bias" in text
+        assert len(text.splitlines()) == 13  # title + header + sep + 10 rows

@@ -1,0 +1,86 @@
+"""Tests for AUC and grouped AUC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import auc, grouped_auc
+
+
+class TestAUC:
+    def test_perfect_ranking(self):
+        assert auc(np.array([0, 0, 1, 1]), np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_inverted_ranking(self):
+        assert auc(np.array([1, 1, 0, 0]), np.array([0.1, 0.2, 0.8, 0.9])) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        y = (rng.random(20_000) < 0.3).astype(int)
+        s = rng.random(20_000)
+        assert abs(auc(y, s) - 0.5) < 0.02
+
+    def test_all_ties_is_half(self):
+        assert auc(np.array([0, 1, 0, 1]), np.zeros(4)) == 0.5
+
+    def test_partial_ties_midrank(self):
+        # one positive tied with one negative among {0.5, 0.5, 0.9}
+        value = auc(np.array([0, 1, 1]), np.array([0.5, 0.5, 0.9]))
+        assert np.isclose(value, 0.75)
+
+    def test_degenerate_labels_raise(self):
+        with pytest.raises(ValueError, match="undefined"):
+            auc(np.ones(4), np.random.random(4))
+        with pytest.raises(ValueError, match="undefined"):
+            auc(np.zeros(4), np.random.random(4))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            auc(np.array([0, 1]), np.array([0.5]))
+
+    def test_matches_bruteforce(self, rng):
+        """Rank formula equals the O(n^2) pairwise definition."""
+        y = (rng.random(60) < 0.4).astype(int)
+        s = rng.normal(size=60).round(1)  # rounding induces ties
+        pos = s[y == 1]
+        neg = s[y == 0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        brute = (wins + 0.5 * ties) / (len(pos) * len(neg))
+        assert np.isclose(auc(y, s), brute)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_invariant_to_monotone_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        y = np.array([0] * 10 + [1] * 10)
+        s = rng.normal(size=20)
+        assert np.isclose(auc(y, s), auc(y, 3.0 * s + 7.0))
+        assert np.isclose(auc(y, s), auc(y, np.exp(s)))
+
+
+class TestGroupedAUC:
+    def test_single_group_equals_auc(self, rng):
+        y = np.array([0, 1, 0, 1])
+        s = rng.random(4)
+        g = np.zeros(4)
+        assert np.isclose(grouped_auc(y, s, g), auc(y, s))
+
+    def test_degenerate_groups_skipped(self):
+        y = np.array([1, 1, 0, 1])
+        s = np.array([0.9, 0.8, 0.1, 0.7])
+        g = np.array([0, 0, 1, 1])  # group 0 all-positive, skipped
+        assert np.isclose(grouped_auc(y, s, g), 1.0)
+
+    def test_all_degenerate_returns_none(self):
+        y = np.array([1, 1, 0, 0])
+        s = np.random.random(4)
+        g = np.array([0, 0, 1, 1])
+        assert grouped_auc(y, s, g) is None
+
+    def test_weighting_by_group_size(self):
+        y = np.array([0, 1, 0, 1, 0, 1, 0, 1])
+        s = np.array([0.1, 0.9, 0.1, 0.9, 0.9, 0.1, 0.9, 0.1])
+        g = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        # group 0 AUC=1, group 1 AUC=0, equal sizes -> 0.5
+        assert np.isclose(grouped_auc(y, s, g), 0.5)

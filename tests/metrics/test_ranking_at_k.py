@@ -1,0 +1,87 @@
+"""Tests for the top-k ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import ndcg_at_k, precision_at_k, recall_at_k
+
+
+def one_group(labels, scores, k, metric):
+    groups = np.zeros(len(labels))
+    return metric(np.array(labels), np.array(scores), groups, k)
+
+
+class TestPrecision:
+    def test_perfect_top(self):
+        value = one_group([1, 1, 0, 0], [0.9, 0.8, 0.2, 0.1], 2, precision_at_k)
+        assert value == 1.0
+
+    def test_worst_top(self):
+        value = one_group([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9], 2, precision_at_k)
+        assert value == 0.0
+
+    def test_group_smaller_than_k(self):
+        value = one_group([1, 0], [0.9, 0.1], 10, precision_at_k)
+        assert value == 0.5
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            one_group([1], [0.5], 0, precision_at_k)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            precision_at_k(np.array([1]), np.array([0.5, 0.2]), np.zeros(2), 1)
+
+
+class TestRecall:
+    def test_full_recall(self):
+        value = one_group([1, 1, 0, 0], [0.9, 0.8, 0.2, 0.1], 2, recall_at_k)
+        assert value == 1.0
+
+    def test_half_recall(self):
+        value = one_group([1, 1, 0, 0], [0.9, 0.1, 0.8, 0.2], 2, recall_at_k)
+        assert value == 0.5
+
+
+class TestNDCG:
+    def test_ideal_ranking_is_one(self):
+        value = one_group([1, 1, 0, 0], [0.9, 0.8, 0.2, 0.1], 4, ndcg_at_k)
+        assert np.isclose(value, 1.0)
+
+    def test_positive_at_bottom_discounted(self):
+        top = one_group([1, 0, 0], [0.9, 0.5, 0.1], 3, ndcg_at_k)
+        bottom = one_group([1, 0, 0], [0.1, 0.5, 0.9], 3, ndcg_at_k)
+        assert top == 1.0
+        assert bottom < top
+
+    def test_value_matches_formula(self):
+        # positive at rank 2 of 3: dcg = 1/log2(3), ideal = 1/log2(2)
+        value = one_group([0, 1, 0], [0.9, 0.5, 0.1], 3, ndcg_at_k)
+        assert np.isclose(value, (1 / np.log2(3)) / 1.0)
+
+
+class TestGrouping:
+    def test_mean_over_groups(self):
+        labels = np.array([1, 0, 0, 1])
+        scores = np.array([0.9, 0.1, 0.9, 0.1])
+        groups = np.array([0, 0, 1, 1])
+        # group 0 perfect (p@1 = 1), group 1 inverted (p@1 = 0)
+        assert precision_at_k(labels, scores, groups, 1) == 0.5
+
+    def test_groups_without_positives_skipped(self):
+        labels = np.array([0, 0, 1, 0])
+        scores = np.array([0.9, 0.1, 0.9, 0.1])
+        groups = np.array([0, 0, 1, 1])
+        assert precision_at_k(labels, scores, groups, 1) == 1.0
+
+    def test_all_groups_skipped_returns_none(self):
+        labels = np.zeros(4)
+        scores = np.random.default_rng(0).random(4)
+        groups = np.array([0, 0, 1, 1])
+        assert ndcg_at_k(labels, scores, groups, 2) is None
+
+    def test_non_contiguous_group_ids(self):
+        labels = np.array([1, 0, 1, 0])
+        scores = np.array([0.9, 0.1, 0.9, 0.1])
+        groups = np.array([42, 42, 7, 7])
+        assert precision_at_k(labels, scores, groups, 1) == 1.0

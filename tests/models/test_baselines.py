@@ -1,0 +1,182 @@
+"""Behavioural tests shared by all baseline models."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.data.batching import batch_iterator
+from repro.models import MODEL_REGISTRY, ModelConfig, build_model
+from repro.optim import Adam
+
+ALL_MODELS = sorted(MODEL_REGISTRY)
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, test, _ = load_scenario(
+        "ae_es", n_users=60, n_items=80, n_train=4000, n_test=1000
+    )
+    return train, test
+
+
+@pytest.fixture
+def config():
+    return ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+
+
+def train_steps(model, dataset, steps=30, lr=0.01):
+    rng = np.random.default_rng(0)
+    opt = Adam(model.parameters(), lr=lr)
+    losses = []
+    while len(losses) < steps:
+        for batch in batch_iterator(dataset, 256, rng):
+            loss = model.loss(batch)
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+            if len(losses) >= steps:
+                break
+    return losses
+
+
+class TestRegistry:
+    def test_all_expected_models_registered(self):
+        expected = {
+            "naive", "esmm", "esm2", "cross_stitch", "mmoe", "ple", "aitm",
+            "escm2_ipw", "escm2_dr", "multi_ipw", "multi_dr",
+            "dcmt", "dcmt_pd", "dcmt_cf",
+        }
+        assert expected == set(MODEL_REGISTRY)
+
+    def test_unknown_model(self, world, config):
+        with pytest.raises(KeyError, match="dcmt"):
+            build_model("nope", world[0].schema, config)
+
+    def test_metadata_complete(self):
+        for info in MODEL_REGISTRY.values():
+            assert info.structure
+            assert info.main_idea
+            assert info.group
+
+    def test_model_names_match_keys(self, world, config):
+        for key in ALL_MODELS:
+            model = build_model(key, world[0].schema, config)
+            assert model.model_name == key
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+class TestEveryModel:
+    def test_predictions_are_probabilities(self, name, world, config):
+        train, _ = world
+        model = build_model(name, train.schema, config)
+        preds = model.predict(train.full_batch())
+        for arr in (preds.ctr, preds.cvr, preds.ctcvr):
+            assert arr.shape == (len(train),)
+            assert np.all((arr >= 0) & (arr <= 1))
+
+    def test_loss_is_finite_scalar(self, name, world, config):
+        train, _ = world
+        model = build_model(name, train.schema, config)
+        batch = next(
+            iter(batch_iterator(train, 256, np.random.default_rng(0)))
+        )
+        loss = model.loss(batch)
+        assert loss.size == 1
+        assert np.isfinite(loss.item())
+
+    def test_loss_decreases_with_training(self, name, world, config):
+        train, _ = world
+        model = build_model(name, train.schema, config)
+        losses = train_steps(model, train, steps=60)
+        # Importance-weighted losses are noisy batch-to-batch; compare
+        # ten-step windows rather than single steps.
+        assert np.mean(losses[-10:]) < np.mean(losses[:10])
+
+    def test_gradients_reach_embeddings(self, name, world, config):
+        train, _ = world
+        model = build_model(name, train.schema, config)
+        batch = next(
+            iter(batch_iterator(train, 256, np.random.default_rng(0)))
+        )
+        model.loss(batch).backward()
+        grads = [
+            table.weight.grad
+            for table in model.embedding.tables.values()
+        ]
+        assert any(g is not None and np.any(g != 0) for g in grads)
+
+    def test_predict_restores_training_mode(self, name, world, config):
+        train, _ = world
+        model = build_model(name, train.schema, config)
+        model.train()
+        model.predict(train.full_batch())
+        assert model.training
+
+    def test_ctcvr_consistency(self, name, world, config):
+        """All models use the product form, so the probability chain
+        rule ctcvr <= ctr holds by construction."""
+        train, _ = world
+        model = build_model(name, train.schema, config)
+        preds = model.predict(train.full_batch())
+        assert np.all(preds.ctcvr <= preds.ctr + 1e-9)
+
+
+class TestModelSpecificBehaviour:
+    def test_esmm_has_no_direct_cvr_supervision(self, world, config):
+        """ESMM's CVR head gets gradient only through the CTCVR product:
+        with CTR pinned the CVR gradient scales with the CTR value."""
+        train, _ = world
+        from repro.models.esmm import ESMM
+
+        model = ESMM(train.schema, config)
+        batch = next(iter(batch_iterator(train, 512, np.random.default_rng(1))))
+        model.loss(batch).backward()
+        cvr_tower_grad = model.cvr_tower.deep.output_layer.weight.grad
+        assert cvr_tower_grad is not None  # indirect gradient exists
+
+    def test_escm2_dr_has_imputation_tower(self, world, config):
+        from repro.models.escm2 import ESCM2
+
+        dr = ESCM2(train_schema(world), config, variant="dr")
+        ipw = ESCM2(train_schema(world), config, variant="ipw")
+        assert dr.imputation_tower is not None
+        assert ipw.imputation_tower is None
+        assert dr.num_parameters() > ipw.num_parameters()
+
+    def test_escm2_invalid_variant(self, world, config):
+        from repro.models.escm2 import ESCM2
+
+        with pytest.raises(ValueError):
+            ESCM2(train_schema(world), config, variant="bogus")
+
+    def test_aitm_transfer_parameters_learn(self, world, config):
+        """The attention-transfer unit receives gradient from the CVR
+        task (that is what distinguishes AITM from a shared bottom)."""
+        train, _ = world
+        from repro.models.aitm import AITM
+
+        model = AITM(train.schema, config)
+        before = model.transfer.query.weight.data.copy()
+        train_steps(model, train, steps=30)
+        assert not np.allclose(before, model.transfer.query.weight.data)
+
+    def test_cross_stitch_stitches_are_trainable(self, world, config):
+        train, _ = world
+        from repro.models.cross_stitch import CrossStitch
+
+        model = CrossStitch(train.schema, config)
+        before = [s.stitch.data.copy() for s in model.stitches]
+        train_steps(model, train, steps=20)
+        after = [s.stitch.data for s in model.stitches]
+        assert any(not np.allclose(b, a) for b, a in zip(before, after))
+
+    def test_ple_invalid_layers(self, world, config):
+        from repro.models.ple import PLE
+
+        with pytest.raises(ValueError):
+            PLE(train_schema(world), config, num_layers=0)
+
+
+def train_schema(world):
+    return world[0].schema

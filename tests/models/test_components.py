@@ -1,0 +1,106 @@
+"""Tests for FeatureEmbedding and WideDeepTower."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.data import load_scenario
+from repro.data.schema import DenseFeature, FeatureSchema, SparseFeature
+from repro.models.components import FeatureEmbedding, WideDeepTower, probability
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, _, _ = load_scenario(
+        "ae_es", n_users=40, n_items=50, n_train=500, n_test=100
+    )
+    return train
+
+
+class TestFeatureEmbedding:
+    def test_widths_match_schema(self, world, rng):
+        emb = FeatureEmbedding(world.schema, 4, rng)
+        assert emb.deep_width == world.schema.embedded_width(4, "deep")
+        assert emb.wide_width == world.schema.embedded_width(4, "wide")
+
+    def test_forward_shapes(self, world, rng):
+        emb = FeatureEmbedding(world.schema, 4, rng)
+        deep, wide = emb(world.full_batch())
+        assert deep.shape == (len(world), emb.deep_width)
+        assert wide.shape == (len(world), emb.wide_width)
+
+    def test_no_wide_features(self, rng):
+        schema = FeatureSchema(sparse=[SparseFeature("user_id", 10)])
+        emb = FeatureEmbedding(schema, 4, rng)
+        from repro.data.dataset import Batch
+
+        batch = Batch(
+            sparse={"user_id": np.array([0, 1])},
+            dense={},
+            clicks=np.zeros(2, dtype=np.int64),
+            conversions=np.zeros(2, dtype=np.int64),
+        )
+        deep, wide = emb(batch)
+        assert wide is None
+        assert deep.shape == (2, 4)
+
+    def test_dense_features_passed_through(self, rng):
+        schema = FeatureSchema(
+            sparse=[SparseFeature("user_id", 10)],
+            dense=[DenseFeature("score", dim=1)],
+        )
+        emb = FeatureEmbedding(schema, 4, rng)
+        from repro.data.dataset import Batch
+
+        batch = Batch(
+            sparse={"user_id": np.array([0])},
+            dense={"score": np.array([7.5])},
+            clicks=np.zeros(1, dtype=np.int64),
+            conversions=np.zeros(1, dtype=np.int64),
+        )
+        deep, _ = emb(batch)
+        assert deep.data[0, -1] == 7.5  # raw dense value appended last
+
+    def test_invalid_dim(self, world, rng):
+        with pytest.raises(ValueError):
+            FeatureEmbedding(world.schema, 0, rng)
+
+    def test_deep_only_schema_requires_deep(self, rng):
+        schema = FeatureSchema(
+            sparse=[SparseFeature("cross", 4, group="combination", kind="wide")]
+        )
+        emb = FeatureEmbedding(schema, 4, rng)
+        from repro.data.dataset import Batch
+
+        batch = Batch(
+            sparse={"cross": np.array([0])},
+            dense={},
+            clicks=np.zeros(1, dtype=np.int64),
+            conversions=np.zeros(1, dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="no deep features"):
+            emb(batch)
+
+
+class TestWideDeepTower:
+    def test_logit_shape(self, rng):
+        tower = WideDeepTower(6, 4, [8], rng)
+        logit = tower(Tensor(np.ones((5, 6))), Tensor(np.ones((5, 4))))
+        assert logit.shape == (5,)
+
+    def test_pure_deep(self, rng):
+        tower = WideDeepTower(6, 0, [8], rng)
+        assert tower.wide is None
+        assert tower(Tensor(np.ones((3, 6))), None).shape == (3,)
+
+    def test_wide_part_contributes(self, rng):
+        tower = WideDeepTower(6, 4, [8], rng)
+        deep = Tensor(np.ones((3, 6)))
+        a = tower(deep, Tensor(np.zeros((3, 4)))).data
+        b = tower(deep, Tensor(10.0 * np.ones((3, 4)))).data
+        assert not np.allclose(a, b)
+
+    def test_probability_head(self, rng):
+        tower = WideDeepTower(6, 0, [8], rng)
+        p = probability(tower(Tensor(np.ones((4, 6))), None))
+        assert np.all((p.data > 0) & (p.data < 1))

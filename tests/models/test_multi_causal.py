@@ -1,0 +1,79 @@
+"""Tests for the Multi-IPW / Multi-DR related-work baselines."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.models import ModelConfig, build_model
+from repro.models.escm2 import ESCM2
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, test, _ = load_scenario(
+        "ae_es", n_users=50, n_items=60, n_train=2000, n_test=500
+    )
+    return train, test
+
+
+@pytest.fixture
+def config():
+    return ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+
+
+class TestMultiCausal:
+    def test_registry_names(self, world, config):
+        train, _ = world
+        assert build_model("multi_ipw", train.schema, config).model_name == "multi_ipw"
+        assert build_model("multi_dr", train.schema, config).model_name == "multi_dr"
+
+    def test_multi_dr_has_imputation_tower(self, world, config):
+        train, _ = world
+        model = build_model("multi_dr", train.schema, config)
+        assert model.imputation_tower is not None
+
+    def test_no_global_supervision_flag(self, world, config):
+        train, _ = world
+        multi = build_model("multi_ipw", train.schema, config)
+        escm2 = build_model("escm2_ipw", train.schema, config)
+        assert not multi.global_supervision
+        assert escm2.global_supervision
+
+    def test_escm2_equals_multi_plus_ctcvr(self, world, config):
+        """ESCM2's delta over Multi-IPW is exactly the CTCVR term."""
+        from repro.autograd import functional
+
+        train, _ = world
+        batch = train.full_batch()
+        multi = ESCM2(train.schema, config, variant="ipw", global_supervision=False)
+        escm2 = ESCM2(train.schema, config, variant="ipw", global_supervision=True)
+        escm2.load_state_dict(multi.state_dict())
+
+        loss_multi = multi.loss(batch).item()
+        loss_escm2 = escm2.loss(batch).item()
+        outputs = multi.forward_tensors(batch)
+        ctcvr_term = functional.binary_cross_entropy(
+            outputs["ctcvr"], batch.conversions
+        ).item()
+        assert np.isclose(
+            loss_escm2, loss_multi + config.ctcvr_weight * ctcvr_term, atol=1e-10
+        )
+
+    def test_multi_models_train(self, world, config):
+        from repro.data.batching import batch_iterator
+        from repro.optim import Adam
+
+        train, _ = world
+        for name in ("multi_ipw", "multi_dr"):
+            model = build_model(name, train.schema, config)
+            opt = Adam(model.parameters(), lr=0.01)
+            rng = np.random.default_rng(0)
+            losses = []
+            for _ in range(2):
+                for batch in batch_iterator(train, 512, rng):
+                    loss = model.loss(batch)
+                    opt.zero_grad()
+                    loss.backward()
+                    opt.step()
+                    losses.append(loss.item())
+            assert np.mean(losses[-3:]) < np.mean(losses[:3])

@@ -1,0 +1,125 @@
+"""Tests for the multi-gate MTL building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.nn import AITMTransfer, CrossStitchUnit, ExpertGroup, MMoEGate, PLELayer
+
+
+class TestExpertGroup:
+    def test_output_shape(self, rng):
+        group = ExpertGroup(4, [8], 3, rng)
+        out = group(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3, 8)
+
+    def test_experts_differ(self, rng):
+        group = ExpertGroup(4, [8], 2, rng)
+        out = group(Tensor(np.ones((1, 4)))).data
+        assert not np.allclose(out[:, 0], out[:, 1])
+
+    def test_zero_experts_rejected(self, rng):
+        with pytest.raises(ValueError):
+            ExpertGroup(4, [8], 0, rng)
+
+
+class TestMMoEGate:
+    def test_mixing_shape(self, rng):
+        group = ExpertGroup(4, [8], 3, rng)
+        gate = MMoEGate(4, 3, rng)
+        x = Tensor(np.ones((5, 4)))
+        assert gate(x, group(x)).shape == (5, 8)
+
+    def test_output_is_convex_combination(self, rng):
+        """Gate output lies in the convex hull of expert outputs."""
+        group = ExpertGroup(2, [4], 3, rng)
+        gate = MMoEGate(2, 3, rng)
+        x = Tensor(rng.normal(size=(10, 2)))
+        experts = group(x).data
+        mixed = gate(x, group(x)).data
+        assert np.all(mixed <= experts.max(axis=1) + 1e-9)
+        assert np.all(mixed >= experts.min(axis=1) - 1e-9)
+
+    def test_gradients_reach_gate_and_experts(self, rng):
+        group = ExpertGroup(2, [4], 2, rng)
+        gate = MMoEGate(2, 2, rng)
+        x = Tensor(np.ones((3, 2)))
+        gate(x, group(x)).sum().backward()
+        assert gate.gate.weight.grad is not None
+        assert group.experts[0].hidden_layers[0].weight.grad is not None
+
+
+class TestCrossStitch:
+    def test_identity_start_roughly_preserves(self, rng):
+        unit = CrossStitchUnit(self_weight=1.0)
+        a = Tensor(rng.normal(size=(4, 3)))
+        b = Tensor(rng.normal(size=(4, 3)))
+        o1, o2 = unit(a, b)
+        assert np.allclose(o1.data, a.data)
+        assert np.allclose(o2.data, b.data)
+
+    def test_mixing(self, rng):
+        unit = CrossStitchUnit(self_weight=0.5)
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(3.0 * np.ones((2, 2)))
+        o1, _ = unit(a, b)
+        assert np.allclose(o1.data, 2.0)
+
+    def test_stitch_matrix_is_trainable(self, rng):
+        unit = CrossStitchUnit()
+        a = Tensor(np.ones((2, 2)))
+        b = Tensor(np.ones((2, 2)))
+        o1, o2 = unit(a, b)
+        (o1.sum() + o2.sum()).backward()
+        assert unit.stitch.grad is not None
+        assert unit.stitch.grad.shape == (2, 2)
+
+
+class TestPLELayer:
+    def test_output_shapes(self, rng):
+        layer = PLELayer(4, [8], 2, rng, task_experts=2, shared_experts=1)
+        x = Tensor(np.ones((5, 4)))
+        task_outs, shared = layer([x, x], x)
+        assert len(task_outs) == 2
+        assert task_outs[0].shape == (5, 8)
+        assert shared is None
+
+    def test_shared_gate_output(self, rng):
+        layer = PLELayer(4, [8], 2, rng, with_shared_gate=True)
+        x = Tensor(np.ones((5, 4)))
+        _, shared = layer([x, x], x)
+        assert shared.shape == (5, 8)
+
+    def test_wrong_task_count_rejected(self, rng):
+        layer = PLELayer(4, [8], 2, rng)
+        x = Tensor(np.ones((5, 4)))
+        with pytest.raises(ValueError):
+            layer([x], x)
+
+    def test_single_task_rejected(self, rng):
+        with pytest.raises(ValueError):
+            PLELayer(4, [8], 1, rng)
+
+    def test_task_outputs_differ(self, rng):
+        """Private experts make the two task views diverge."""
+        layer = PLELayer(3, [6], 2, rng)
+        x = Tensor(rng.normal(size=(4, 3)))
+        task_outs, _ = layer([x, x], x)
+        assert not np.allclose(task_outs[0].data, task_outs[1].data)
+
+
+class TestAITM:
+    def test_output_shape(self, rng):
+        ait = AITMTransfer(8, rng)
+        p = Tensor(rng.normal(size=(5, 8)))
+        q = Tensor(rng.normal(size=(5, 8)))
+        assert ait(p, q).shape == (5, 8)
+
+    def test_gradients_flow(self, rng):
+        ait = AITMTransfer(4, rng)
+        p = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        q = Tensor(rng.normal(size=(2, 4)), requires_grad=True)
+        ait(p, q).sum().backward()
+        assert p.grad is not None
+        assert q.grad is not None
+        assert ait.query.weight.grad is not None

@@ -1,0 +1,79 @@
+"""Property-based tests (hypothesis) for the nn substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autograd import Tensor
+from repro.nn import MLP, Embedding, Linear
+
+floats = st.floats(min_value=-2.0, max_value=2.0, allow_nan=False, width=64)
+
+
+def small(shape):
+    return arrays(np.float64, shape, elements=floats)
+
+
+@settings(max_examples=25, deadline=None)
+@given(x=small((4, 3)), y=small((4, 3)), a=floats, b=floats)
+def test_linear_layer_is_linear(x, y, a, b):
+    """f(a·x + b·y) == a·f(x) + b·f(y) for a bias-free Linear."""
+    layer = Linear(3, 2, np.random.default_rng(0), bias=False)
+    lhs = layer(Tensor(a * x + b * y)).data
+    rhs = a * layer(Tensor(x)).data + b * layer(Tensor(y)).data
+    assert np.allclose(lhs, rhs, atol=1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(x=small((5, 4)))
+def test_mlp_eval_deterministic(x):
+    mlp = MLP(4, [8], np.random.default_rng(1), dropout=0.5)
+    mlp.eval()
+    a = mlp(Tensor(x)).data
+    b = mlp(Tensor(x)).data
+    assert np.array_equal(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ids=arrays(np.int64, (6,), elements=st.integers(min_value=0, max_value=9))
+)
+def test_embedding_lookup_consistency(ids):
+    """Equal ids yield equal embeddings; lookups match the table rows."""
+    emb = Embedding(10, 3, np.random.default_rng(2))
+    out = emb(ids).data
+    for i, idx in enumerate(ids):
+        assert np.array_equal(out[i], emb.weight.data[idx])
+
+
+@settings(max_examples=25, deadline=None)
+@given(x=small((3, 4)), seed=st.integers(min_value=0, max_value=100))
+def test_same_seed_same_network(x, seed):
+    a = MLP(4, [6], np.random.default_rng(seed), out_features=1)
+    b = MLP(4, [6], np.random.default_rng(seed), out_features=1)
+    assert np.array_equal(a(Tensor(x)).data, b(Tensor(x)).data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(x=small((4, 3)))
+def test_state_dict_roundtrip_preserves_function(x):
+    source = MLP(3, [5], np.random.default_rng(3), out_features=2)
+    target = MLP(3, [5], np.random.default_rng(99), out_features=2)
+    target.load_state_dict(source.state_dict())
+    assert np.allclose(
+        source(Tensor(x)).data, target(Tensor(x)).data, atol=1e-12
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(x=small((4, 3)), scale=st.floats(min_value=0.1, max_value=5.0))
+def test_relu_mlp_positive_homogeneous_without_bias(x, scale):
+    """A bias-free single ReLU layer is positively homogeneous:
+    f(s·x) = s·f(x) for s > 0."""
+    from repro.autograd import ops
+
+    layer = Linear(3, 4, np.random.default_rng(5), bias=False)
+    lhs = ops.relu(layer(Tensor(scale * x))).data
+    rhs = scale * ops.relu(layer(Tensor(x))).data
+    assert np.allclose(lhs, rhs, atol=1e-9)

@@ -1,0 +1,163 @@
+"""Tests for SGD, Adam, weight decay, and gradient clipping."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional, ops
+from repro.nn import MLP, Linear
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, clip_global_norm
+from repro.optim.optimizer import Optimizer
+
+
+def quadratic_param(value=5.0):
+    return Parameter(np.array([value]))
+
+
+class TestValidation:
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_bad_lr(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], lr=0.0)
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], lr=-1.0)
+
+    def test_bad_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], momentum=1.0)
+
+    def test_bad_betas(self):
+        with pytest.raises(ValueError):
+            Adam([quadratic_param()], betas=(1.0, 0.9))
+
+    def test_bad_weight_decay(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_param()], weight_decay=-0.1)
+
+    def test_base_step_not_implemented(self):
+        opt = Optimizer([quadratic_param()])
+        with pytest.raises(NotImplementedError):
+            opt.step()
+
+
+class TestConvergence:
+    def _minimize(self, optimizer_factory, steps=200):
+        p = quadratic_param(5.0)
+        opt = optimizer_factory([p])
+        for _ in range(steps):
+            loss = (p * p).sum()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        return float(p.data[0])
+
+    def test_sgd_minimizes_quadratic(self):
+        final = self._minimize(lambda ps: SGD(ps, lr=0.1))
+        assert abs(final) < 1e-3
+
+    def test_sgd_momentum_minimizes(self):
+        final = self._minimize(lambda ps: SGD(ps, lr=0.05, momentum=0.9))
+        assert abs(final) < 1e-3
+
+    def test_adam_minimizes_quadratic(self):
+        final = self._minimize(lambda ps: Adam(ps, lr=0.1), steps=400)
+        assert abs(final) < 1e-3
+
+    def test_adam_trains_classifier(self, rng):
+        X = rng.normal(size=(128, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(float)
+        model = MLP(4, [8], rng, out_features=1)
+        opt = Adam(model.parameters(), lr=0.02)
+        first_loss = None
+        for _ in range(150):
+            logits = ops.squeeze(model(Tensor(X)), axis=1)
+            loss = functional.bce_with_logits(logits, y)
+            if first_loss is None:
+                first_loss = loss.item()
+            opt.zero_grad()
+            loss.backward()
+            opt.step()
+        assert loss.item() < 0.3 * first_loss
+
+
+class TestWeightDecay:
+    def test_decay_shrinks_unused_weights(self):
+        p = quadratic_param(1.0)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        # No loss gradient at all: decay alone should shrink the weight.
+        for _ in range(10):
+            p.grad = np.zeros_like(p.data)
+            opt.step()
+        assert abs(float(p.data[0])) < 1.0
+
+    def test_decay_matches_explicit_l2(self, rng):
+        """weight_decay in the optimizer == adding lambda*||w||^2 to loss."""
+        w0 = rng.normal(size=(3, 2))
+        lam = 0.01
+
+        pa = Parameter(w0.copy())
+        opt_a = SGD([pa], lr=0.1, weight_decay=lam)
+        loss_a = (pa * pa * pa).sum()  # arbitrary smooth loss
+        loss_a.backward()
+        opt_a.step()
+
+        pb = Parameter(w0.copy())
+        opt_b = SGD([pb], lr=0.1)
+        loss_b = (pb * pb * pb).sum() + lam * functional.l2_penalty([pb])
+        loss_b.backward()
+        opt_b.step()
+
+        assert np.allclose(pa.data, pb.data, atol=1e-10)
+
+
+class TestClipGlobalNorm:
+    def test_no_clip_below_threshold(self):
+        p = quadratic_param(1.0)
+        p.grad = np.array([0.5])
+        norm = clip_global_norm([p], max_norm=10.0)
+        assert np.isclose(norm, 0.5)
+        assert np.allclose(p.grad, [0.5])
+
+    def test_clip_above_threshold(self):
+        p = quadratic_param(1.0)
+        p.grad = np.array([3.0, 4.0][0:1]) * 0 + np.array([5.0])
+        clip_global_norm([p], max_norm=1.0)
+        assert np.isclose(np.abs(p.grad).max(), 1.0, atol=1e-6)
+
+    def test_multi_param_global_norm(self):
+        p1, p2 = quadratic_param(), quadratic_param()
+        p1.grad = np.array([3.0])
+        p2.grad = np.array([4.0])
+        norm = clip_global_norm([p1, p2], max_norm=1.0)
+        assert np.isclose(norm, 5.0)
+        total = np.sqrt(p1.grad[0] ** 2 + p2.grad[0] ** 2)
+        assert np.isclose(total, 1.0, atol=1e-6)
+
+    def test_invalid_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_global_norm([quadratic_param()], 0.0)
+
+    def test_none_grads_skipped(self):
+        p = quadratic_param()
+        assert clip_global_norm([p], 1.0) == 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_trajectory(self):
+        def run(seed):
+            rng = np.random.default_rng(seed)
+            model = Linear(3, 1, rng)
+            opt = Adam(model.parameters(), lr=0.01)
+            X = np.random.default_rng(0).normal(size=(16, 3))
+            for _ in range(5):
+                loss = (model(Tensor(X)) ** 2).sum()
+                opt.zero_grad()
+                loss.backward()
+                opt.step()
+            return model.weight.data.copy()
+
+        assert np.array_equal(run(42), run(42))
+        assert not np.array_equal(run(42), run(43))

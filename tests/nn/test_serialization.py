@@ -1,0 +1,89 @@
+"""Tests for model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.models import ModelConfig, build_model
+from repro.nn import Linear
+from repro.nn.serialization import (
+    FORMAT_VERSION,
+    load_checkpoint,
+    peek_metadata,
+    save_checkpoint,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, test, _ = load_scenario(
+        "ae_es", n_users=40, n_items=50, n_train=1000, n_test=300
+    )
+    return train, test
+
+
+class TestRoundTrip:
+    def test_simple_module(self, tmp_path, rng):
+        layer = Linear(3, 2, rng)
+        path = tmp_path / "layer.npz"
+        save_checkpoint(layer, path)
+        other = Linear(3, 2, np.random.default_rng(99))
+        assert not np.allclose(other.weight.data, layer.weight.data)
+        load_checkpoint(other, path)
+        assert np.array_equal(other.weight.data, layer.weight.data)
+        assert np.array_equal(other.bias.data, layer.bias.data)
+
+    def test_full_dcmt_model(self, tmp_path, world):
+        train, test = world
+        config = ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+        model = build_model("dcmt", train.schema, config)
+        path = tmp_path / "dcmt.npz"
+        save_checkpoint(model, path, metadata={"dataset": "ae_es"})
+
+        clone = build_model("dcmt", train.schema, config.with_overrides(seed=5))
+        meta = load_checkpoint(clone, path)
+        assert meta["dataset"] == "ae_es"
+        assert meta["model_name"] == "dcmt"
+
+        original = model.predict(test.full_batch())
+        restored = clone.predict(test.full_batch())
+        assert np.array_equal(original.cvr, restored.cvr)
+        assert np.array_equal(original.ctr, restored.ctr)
+
+    def test_metadata_fields(self, tmp_path, rng):
+        layer = Linear(2, 2, rng)
+        path = tmp_path / "m.npz"
+        save_checkpoint(layer, path)
+        meta = peek_metadata(path)
+        assert meta["format_version"] == FORMAT_VERSION
+        assert meta["num_parameters"] == layer.num_parameters()
+
+
+class TestErrors:
+    def test_architecture_mismatch(self, tmp_path, rng):
+        save_checkpoint(Linear(3, 2, rng), tmp_path / "a.npz")
+        with pytest.raises(KeyError):
+            load_checkpoint(
+                Linear(3, 2, rng, bias=False), tmp_path / "a.npz"
+            )
+
+    def test_shape_mismatch(self, tmp_path, rng):
+        save_checkpoint(Linear(3, 2, rng), tmp_path / "a.npz")
+        with pytest.raises(ValueError):
+            load_checkpoint(Linear(4, 2, rng), tmp_path / "a.npz")
+
+    def test_future_format_rejected(self, tmp_path, rng, monkeypatch):
+        import repro.nn.serialization as ser
+
+        layer = Linear(2, 2, rng)
+        monkeypatch.setattr(ser, "FORMAT_VERSION", 99)
+        save_checkpoint(layer, tmp_path / "future.npz")
+        monkeypatch.setattr(ser, "FORMAT_VERSION", 1)
+        with pytest.raises(ValueError, match="newer"):
+            load_checkpoint(layer, tmp_path / "future.npz")
+
+    def test_missing_metadata_tolerated(self, tmp_path, rng):
+        layer = Linear(2, 2, rng)
+        np.savez(tmp_path / "raw.npz", **layer.state_dict())
+        meta = load_checkpoint(layer, tmp_path / "raw.npz")
+        assert meta == {}

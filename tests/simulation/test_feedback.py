@@ -1,0 +1,87 @@
+"""Tests for the closed-loop feedback experiment."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.models import ModelConfig, build_model
+from repro.simulation.feedback import (
+    FeedbackConfig,
+    FeedbackLoopExperiment,
+    RoundMetrics,
+)
+from repro.training import TrainConfig
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, test, scenario = load_scenario(
+        "ae_es", n_users=50, n_items=60, n_train=2500, n_test=800
+    )
+    return train, test, scenario
+
+
+def make_experiment(scenario, name="esmm", rounds=2, pages=60):
+    config = ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+    return FeedbackLoopExperiment(
+        scenario,
+        model_factory=lambda: build_model(name, scenario.schema, config),
+        train_config=TrainConfig(epochs=1, batch_size=512, learning_rate=0.01),
+        config=FeedbackConfig(rounds=rounds, pages_per_round=pages, seed=1),
+    )
+
+
+class TestConfig:
+    def test_invalid_rounds(self):
+        with pytest.raises(ValueError):
+            FeedbackConfig(rounds=0)
+
+    def test_page_vs_candidates(self):
+        with pytest.raises(ValueError):
+            FeedbackConfig(candidates_per_page=5, page_size=10)
+
+
+class TestLoop:
+    def test_runs_all_rounds(self, world):
+        train, test, scenario = world
+        experiment = make_experiment(scenario)
+        results = experiment.run(train, test)
+        assert len(results) == 2
+        assert [r.round_index for r in results] == [0, 1]
+        for r in results:
+            assert isinstance(r, RoundMetrics)
+            assert 0.0 < r.cvr_auc < 1.0
+
+    def test_training_pool_grows(self, world):
+        train, test, scenario = world
+        experiment = make_experiment(scenario, rounds=3, pages=40)
+        results = experiment.run(train, test)
+        rows = [r.training_rows for r in results]
+        assert rows[0] == len(train)
+        assert rows[1] == rows[0] + 40 * 10
+        assert rows[2] == rows[1] + 40 * 10
+
+    def test_served_logs_have_higher_ctr(self, world):
+        """The policy serves attractive items, so logged CTR rises
+        above the organic log's CTR -- the exposure-bias mechanism."""
+        train, test, scenario = world
+        experiment = make_experiment(scenario, rounds=3, pages=80)
+        results = experiment.run(train, test)
+        assert results[-1].logged_ctr > results[0].logged_ctr
+
+    def test_deterministic(self, world):
+        train, test, scenario = world
+        a = make_experiment(scenario).run(train, test)
+        b = make_experiment(scenario).run(train, test)
+        assert [r.cvr_auc for r in a] == [r.cvr_auc for r in b]
+
+    def test_as_row(self):
+        row = RoundMetrics(
+            round_index=1,
+            cvr_auc=0.7,
+            cvr_auc_do=None,
+            training_rows=100,
+            logged_ctr=0.1,
+        ).as_row()
+        assert row[0] == 1
+        assert np.isnan(row[-1])

@@ -1,0 +1,48 @@
+"""Property-based tests on simulator invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import load_scenario
+from repro.simulation.behavior import BehaviorSimulator
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    _, _, scenario = load_scenario(
+        "ae_es", n_users=40, n_items=50, n_train=1000, n_test=200
+    )
+    return scenario
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    user=st.integers(min_value=0, max_value=39),
+    seed=st.integers(min_value=0, max_value=10_000),
+    page_size=st.integers(min_value=1, max_value=12),
+    mode=st.sampled_from(["independent", "single_choice"]),
+)
+def test_rollout_invariants(scenario_cache, user, seed, page_size, mode):
+    scenario = scenario_cache
+    sim = BehaviorSimulator(scenario, mode=mode)
+    rng = np.random.default_rng(seed)
+    items = rng.choice(50, size=page_size, replace=False)
+    outcome = sim.roll_out(user, items, rng)
+    # labels binary
+    assert set(np.unique(outcome.clicks)).issubset({0, 1})
+    assert set(np.unique(outcome.conversions)).issubset({0, 1})
+    # behaviour path
+    assert not np.any((outcome.conversions == 1) & (outcome.clicks == 0))
+    # probabilities valid
+    assert np.all((outcome.true_cvr > 0) & (outcome.true_cvr < 1))
+    # positions are display order
+    assert np.array_equal(outcome.positions, np.arange(page_size))
+    if mode == "single_choice":
+        assert outcome.clicks.sum() <= 1
+
+
+@pytest.fixture(scope="module")
+def scenario_cache(scenario):
+    return scenario

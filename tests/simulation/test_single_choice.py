@@ -1,0 +1,80 @@
+"""Tests for the single-choice (cascade) behaviour mode."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.models import ModelConfig, build_model
+from repro.simulation.ab_test import ABTest, ABTestConfig
+from repro.simulation.behavior import MODES, BehaviorSimulator
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    _, _, scenario = load_scenario(
+        "alipay_search", n_users=50, n_items=60, n_train=2000, n_test=300
+    )
+    return scenario
+
+
+class TestSingleChoice:
+    def test_invalid_mode(self, scenario):
+        with pytest.raises(ValueError):
+            BehaviorSimulator(scenario, mode="bogus")
+
+    def test_modes_registry(self):
+        assert MODES == ("independent", "single_choice")
+
+    def test_at_most_one_click(self, scenario):
+        sim = BehaviorSimulator(scenario, mode="single_choice")
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            outcome = sim.roll_out(0, np.arange(10), rng)
+            assert outcome.clicks.sum() <= 1
+            assert outcome.conversions.sum() <= outcome.clicks.sum()
+
+    def test_click_rate_reasonable(self, scenario):
+        """The high-CTR alipay world produces many single-choice clicks."""
+        sim = BehaviorSimulator(scenario, mode="single_choice")
+        rng = np.random.default_rng(1)
+        clicks = sum(
+            sim.roll_out(int(rng.integers(0, 50)), np.arange(10), rng).clicks.sum()
+            for _ in range(500)
+        )
+        assert 0.3 < clicks / 500 <= 1.0
+
+    def test_higher_ctr_items_chosen_more(self, scenario):
+        """The multinomial prefers high-odds items."""
+        sim = BehaviorSimulator(scenario, mode="single_choice")
+        rng = np.random.default_rng(2)
+        page = np.arange(10)
+        counts = np.zeros(10)
+        for _ in range(2000):
+            outcome = sim.roll_out(3, page, rng)
+            counts += outcome.clicks
+        users = np.full(10, 3)
+        ctr = scenario.true_ctr(users, page, np.arange(10))
+        # the empirically most-clicked slot should be among the top
+        # true-CTR slots
+        assert ctr[np.argmax(counts)] >= np.median(ctr)
+
+    def test_ab_test_with_single_choice(self, scenario):
+        config = ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+        models = {
+            "mmoe": build_model("mmoe", scenario.schema, config),
+            "dcmt": build_model("dcmt", scenario.schema, config),
+        }
+        ab = ABTest(
+            models,
+            scenario,
+            base_bucket="mmoe",
+            config=ABTestConfig(
+                days=1,
+                page_views_per_day=60,
+                behavior_mode="single_choice",
+                seed=0,
+            ),
+        )
+        result = ab.run()
+        for day in result.days["dcmt"]:
+            assert day.clicks <= day.page_views  # at most one click per PV

@@ -1,0 +1,154 @@
+"""Tests for the Trainer, TrainConfig, and evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.models import ModelConfig, build_model
+from repro.training import TrainConfig, Trainer, evaluate_model
+from repro.training.evaluation import EvaluationResult
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, test, _ = load_scenario(
+        "ae_es", n_users=60, n_items=80, n_train=4000, n_test=1200
+    )
+    return train, test
+
+
+@pytest.fixture
+def model(world):
+    train, _ = world
+    return build_model(
+        "dcmt", train.schema, ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+    )
+
+
+class TestTrainConfig:
+    def test_defaults_match_paper(self):
+        config = TrainConfig()
+        assert config.epochs == 5
+        assert config.batch_size == 1024
+        assert config.learning_rate == 0.001
+        assert config.weight_decay == 1e-4
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"epochs": 0},
+            {"batch_size": 0},
+            {"learning_rate": 0.0},
+            {"weight_decay": -1.0},
+            {"grad_clip": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            TrainConfig(**kwargs)
+
+    def test_with_overrides(self):
+        config = TrainConfig().with_overrides(epochs=2)
+        assert config.epochs == 2
+        assert config.batch_size == 1024
+
+
+class TestTrainer:
+    def test_loss_decreases_over_epochs(self, world, model):
+        train, _ = world
+        trainer = Trainer(model, TrainConfig(epochs=4, batch_size=512, learning_rate=0.01))
+        history = trainer.fit(train)
+        assert history.n_epochs_run == 4
+        assert history.epoch_losses[-1] < history.epoch_losses[0]
+
+    def test_model_left_in_eval_mode(self, world, model):
+        train, _ = world
+        Trainer(model, TrainConfig(epochs=1, batch_size=512)).fit(train)
+        assert not model.training
+
+    def test_validation_metrics_recorded(self, world, model):
+        train, test = world
+        trainer = Trainer(model, TrainConfig(epochs=2, batch_size=512))
+        history = trainer.fit(train, validation=test)
+        assert len(history.validation_cvr_auc) == 2
+
+    def test_early_stopping(self, world):
+        train, test = world
+        model = build_model(
+            "dcmt",
+            train.schema,
+            ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=1),
+        )
+        # Patience 1 with a deliberately tiny lr: the metric plateaus
+        # quickly and training must stop before 10 epochs.
+        trainer = Trainer(
+            model,
+            TrainConfig(
+                epochs=10,
+                batch_size=512,
+                learning_rate=1e-6,
+                early_stopping_patience=1,
+            ),
+        )
+        history = trainer.fit(train, validation=test)
+        assert history.stopped_early
+        assert history.n_epochs_run < 10
+
+    def test_grad_clip_none_allowed(self, world, model):
+        train, _ = world
+        trainer = Trainer(
+            model, TrainConfig(epochs=1, batch_size=512, grad_clip=None)
+        )
+        history = trainer.fit(train)
+        assert np.isfinite(history.epoch_losses[0])
+
+    def test_deterministic(self, world):
+        train, _ = world
+
+        def run():
+            m = build_model(
+                "esmm",
+                train.schema,
+                ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=7),
+            )
+            Trainer(m, TrainConfig(epochs=1, batch_size=512, seed=7)).fit(train)
+            return m.predict(train.full_batch()).cvr
+
+        assert np.array_equal(run(), run())
+
+
+class TestEvaluation:
+    def test_full_metric_set_with_oracle(self, world, model):
+        train, test = world
+        Trainer(model, TrainConfig(epochs=1, batch_size=512)).fit(train)
+        result = evaluate_model(model, test)
+        assert isinstance(result, EvaluationResult)
+        assert 0 < result.ctr_auc < 1
+        assert result.cvr_auc_d is not None
+        assert result.posterior_cvr_d is not None
+        assert result.cvr_prediction_gap is not None
+
+    def test_without_oracle(self, world, model):
+        train, test = world
+        stripped = test.subset(np.arange(len(test)))
+        stripped.oracle_ctr = None
+        stripped.oracle_cvr = None
+        stripped.oracle_conversion = None
+        result = evaluate_model(model, stripped)
+        assert result.cvr_auc_d is None
+        assert result.cvr_prediction_gap is None
+        assert result.ctcvr_auc is not None
+
+    def test_degenerate_labels_give_none(self, world, model):
+        train, test = world
+        # A slice with no conversions at all: click-space AUC undefined.
+        no_conv = test.subset(np.flatnonzero(test.conversions == 0)[:200])
+        result = evaluate_model(model, no_conv)
+        assert result.ctcvr_auc is None
+
+    def test_predictions_reusable(self, world, model):
+        train, test = world
+        preds = model.predict(test.full_batch())
+        a = evaluate_model(model, test, predictions=preds)
+        b = evaluate_model(model, test)
+        assert a.ctr_auc == b.ctr_auc

@@ -1,0 +1,148 @@
+"""Tests for grid/random hyper-parameter search."""
+
+import numpy as np
+import pytest
+
+from repro.training.tuning import (
+    SearchResult,
+    Trial,
+    choice,
+    grid_search,
+    log_uniform,
+    random_search,
+)
+
+
+def quadratic(params):
+    """Maximised at x=3, y=-1."""
+    return -((params["x"] - 3) ** 2) - (params["y"] + 1) ** 2
+
+
+class TestGridSearch:
+    def test_finds_grid_optimum(self):
+        result = grid_search(
+            {"x": [0, 1, 2, 3, 4], "y": [-2, -1, 0]}, quadratic
+        )
+        assert result.best_params == {"x": 3, "y": -1}
+        assert result.best_score == 0.0
+
+    def test_all_combinations_tried(self):
+        result = grid_search({"x": [1, 2], "y": [3, 4, 5]}, quadratic)
+        assert len(result.trials) == 6
+
+    def test_minimize(self):
+        result = grid_search(
+            {"x": [0, 3], "y": [-1]}, quadratic, maximize=False
+        )
+        assert result.best_params["x"] == 0  # worst quadratic value
+
+    def test_empty_grid(self):
+        with pytest.raises(ValueError):
+            grid_search({}, quadratic)
+
+    def test_empty_values(self):
+        with pytest.raises(ValueError):
+            grid_search({"x": []}, quadratic)
+
+    def test_exceptions_propagate(self):
+        def boom(params):
+            raise RuntimeError("bad config")
+
+        with pytest.raises(RuntimeError):
+            grid_search({"x": [1]}, boom)
+
+    def test_top_k(self):
+        result = grid_search({"x": [0, 1, 2, 3], "y": [-1]}, quadratic)
+        top2 = result.top(2)
+        assert top2[0].params["x"] == 3
+        assert top2[1].params["x"] == 2
+
+
+class TestRandomSearch:
+    def test_runs_n_trials(self, rng):
+        result = random_search(
+            {"x": choice([1, 2, 3]), "y": choice([-1])},
+            quadratic,
+            n_trials=12,
+            rng=rng,
+        )
+        assert len(result.trials) == 12
+
+    def test_finds_good_region(self, rng):
+        result = random_search(
+            {"x": lambda r: float(r.uniform(0, 6)), "y": choice([-1])},
+            quadratic,
+            n_trials=60,
+            rng=rng,
+        )
+        assert abs(result.best_params["x"] - 3) < 1.0
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_search({"x": choice([1])}, quadratic, 0, rng)
+        with pytest.raises(ValueError):
+            random_search({}, quadratic, 5, rng)
+
+
+class TestSamplers:
+    def test_choice_uniform(self, rng):
+        sampler = choice(["a", "b"])
+        draws = [sampler(rng) for _ in range(200)]
+        assert set(draws) == {"a", "b"}
+
+    def test_choice_empty(self):
+        with pytest.raises(ValueError):
+            choice([])
+
+    def test_log_uniform_range(self, rng):
+        sampler = log_uniform(1e-4, 1e-1)
+        draws = np.array([sampler(rng) for _ in range(500)])
+        assert draws.min() >= 1e-4
+        assert draws.max() <= 1e-1
+        # log-uniform: median near geometric midpoint
+        assert 1e-3 < np.median(draws) < 1e-2
+
+    def test_log_uniform_validation(self):
+        with pytest.raises(ValueError):
+            log_uniform(0.0, 1.0)
+        with pytest.raises(ValueError):
+            log_uniform(2.0, 1.0)
+
+
+class TestSearchResult:
+    def test_empty_result(self):
+        with pytest.raises(ValueError):
+            SearchResult(trials=[]).best
+
+    def test_trial_fields(self):
+        t = Trial(params={"a": 1}, score=0.5)
+        assert t.params["a"] == 1
+        assert t.score == 0.5
+
+
+class TestEndToEnd:
+    def test_tune_dcmt_lambda(self):
+        """A tiny real tuning run over lambda1 on a miniature world."""
+        from repro.core.dcmt import DCMT
+        from repro.data import load_scenario
+        from repro.metrics import auc
+        from repro.models import ModelConfig
+        from repro.training import TrainConfig, Trainer
+
+        train, test, _ = load_scenario(
+            "ae_es", n_users=40, n_items=50, n_train=2000, n_test=600
+        )
+
+        def evaluate(params):
+            model = DCMT(
+                train.schema,
+                ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0),
+                lambda1=params["lambda1"],
+            )
+            Trainer(model, TrainConfig(epochs=1, batch_size=512)).fit(train)
+            preds = model.predict(test.full_batch())
+            return auc(test.conversions, preds.cvr)
+
+        result = grid_search({"lambda1": [0.1, 2.0]}, evaluate)
+        assert len(result.trials) == 2
+        assert 0 < result.best_score < 1
