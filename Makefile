@@ -1,12 +1,18 @@
 # Convenience targets for the DCMT reproduction.
 
-.PHONY: install test bench report quickstart lint-clean
+.PHONY: install test bench report quickstart lint-clean verify-robustness
 
 install:
 	pip install -e . || python setup.py develop
 
 test:
 	pytest tests/
+
+# Every test tagged `robustness`: degenerate-batch hardening plus the
+# reliability subsystem (checkpoint/resume, guards, chaos serving).
+# Works from a clean checkout (no install needed).
+verify-robustness:
+	PYTHONPATH=src pytest -m robustness tests/
 
 bench:
 	pytest benchmarks/ --benchmark-only

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Dict, Iterable
 
 import numpy as np
 
@@ -38,6 +38,29 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state.update(
+            lr=self.lr,
+            beta1=self.beta1,
+            beta2=self.beta2,
+            eps=self.eps,
+            step_count=self._step_count,
+            m=[m.copy() for m in self._m],
+            v=[v.copy() for v in self._v],
+        )
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self.lr = float(state["lr"])
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self._step_count = int(state["step_count"])
+        self._load_moments(state["m"], self._m)
+        self._load_moments(state["v"], self._v)
 
     def step(self) -> None:
         self._step_count += 1

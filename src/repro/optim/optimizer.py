@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Any, Dict, Iterable, List, Sequence
 
 import numpy as np
 
@@ -27,6 +27,44 @@ class Optimizer:
 
     def step(self) -> None:
         raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Resumable state: scalars plus lists of moment arrays.
+
+        Subclasses extend the base dict.  List-of-ndarray values are
+        moment buffers aligned with ``self.params``; everything else
+        must be JSON-serialisable (checkpointing relies on this split).
+        """
+        return {
+            "type": type(self).__name__,
+            "weight_decay": self.weight_decay,
+        }
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        """Restore state produced by :meth:`state_dict`."""
+        if state.get("type") != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {state.get('type')!r}, "
+                f"not {type(self).__name__!r}"
+            )
+        self.weight_decay = float(state["weight_decay"])
+
+    def _load_moments(self, stored: List[np.ndarray], target: List[np.ndarray]) -> None:
+        """Copy stored moment buffers into ``target``, validating shapes."""
+        if len(stored) != len(target):
+            raise ValueError(
+                f"optimizer state has {len(stored)} moment buffers, "
+                f"expected {len(target)}"
+            )
+        for i, (src, dst) in enumerate(zip(stored, target)):
+            src = np.asarray(src, dtype=dst.dtype)
+            if src.shape != dst.shape:
+                raise ValueError(
+                    f"moment buffer {i} shape mismatch: expected "
+                    f"{dst.shape}, got {src.shape}"
+                )
+            dst[...] = src
 
     def _grad(self, p: Parameter) -> np.ndarray:
         """Parameter gradient with L2 weight decay folded in."""

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Dict, Iterable
 
 import numpy as np
 
@@ -40,6 +40,21 @@ class SGD(Optimizer):
         self.lr = lr
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state.update(
+            lr=self.lr,
+            momentum=self.momentum,
+            velocity=[v.copy() for v in self._velocity],
+        )
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self.lr = float(state["lr"])
+        self.momentum = float(state["momentum"])
+        self._load_moments(state["velocity"], self._velocity)
 
     def step(self) -> None:
         for p, v in zip(self.params, self._velocity):

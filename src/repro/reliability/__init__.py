@@ -1,0 +1,71 @@
+"""Fault tolerance for training and serving.
+
+The north star is a production CVR system, and DCMT's inverse-propensity
+losses are exactly the kind that blow up there: IPW weights ``1/o_hat``
+diverge as propensities collapse, one NaN batch poisons a run, and one
+flaky scorer can take down a results page.  This package makes those
+failures survivable:
+
+* :mod:`~repro.reliability.checkpoint` -- checksummed atomic snapshots
+  of the full training state (parameters, Adam moments, RNG streams,
+  history) with rotation and corruption-tolerant recovery;
+* :mod:`~repro.reliability.guards` -- NaN/spike loss detection and
+  propensity-collapse monitoring;
+* :mod:`~repro.reliability.faults` / :mod:`~repro.reliability.chaos` --
+  deterministic fault injection for batches and the scoring path, used
+  by tests to prove the guards fire;
+* :mod:`~repro.reliability.circuit` -- the circuit breaker behind
+  :class:`~repro.simulation.serving.RankingService`'s fallback chain;
+* :mod:`~repro.reliability.errors` -- the shared exception taxonomy.
+"""
+
+from repro.reliability.chaos import ChaosScoring
+from repro.reliability.checkpoint import (
+    CheckpointManager,
+    TrainingSnapshot,
+    load_snapshot,
+    save_snapshot,
+    verify_snapshot,
+)
+from repro.reliability.circuit import CircuitBreaker
+from repro.reliability.config import ReliabilityConfig, ServingPolicy
+from repro.reliability.errors import (
+    CheckpointCorruptError,
+    DivergenceError,
+    PropensityCollapseWarning,
+    ReliabilityError,
+    ScoringUnavailableError,
+)
+from repro.reliability.faults import FaultInjector, FaultRecord, FaultSpec
+from repro.reliability.guards import (
+    GuardEvent,
+    LossGuard,
+    LossGuardConfig,
+    propensity_collapse_fraction,
+    warn_on_propensity_collapse,
+)
+
+__all__ = [
+    "ChaosScoring",
+    "CheckpointManager",
+    "TrainingSnapshot",
+    "load_snapshot",
+    "save_snapshot",
+    "verify_snapshot",
+    "CircuitBreaker",
+    "ReliabilityConfig",
+    "ServingPolicy",
+    "ReliabilityError",
+    "CheckpointCorruptError",
+    "DivergenceError",
+    "ScoringUnavailableError",
+    "PropensityCollapseWarning",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultSpec",
+    "GuardEvent",
+    "LossGuard",
+    "LossGuardConfig",
+    "propensity_collapse_fraction",
+    "warn_on_propensity_collapse",
+]

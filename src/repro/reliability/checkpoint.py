@@ -1,0 +1,249 @@
+"""Checksummed, atomic training checkpoints.
+
+A checkpoint is one self-contained file::
+
+    RPROCKPT1\\n<sha256 hex of payload>\\n<npz payload>
+
+The payload is a standard ``.npz`` archive (model parameters, optimizer
+moment arrays, and a JSON metadata blob carrying every non-array field:
+RNG states, training history, loop counters).  The leading digest makes
+truncation and bit-rot detectable *before* any array is parsed; writes
+go through a temp file plus ``os.replace`` so a crash mid-write never
+leaves a half-written file under the final name.
+
+:class:`CheckpointManager` adds rotation (keep the newest ``keep``
+snapshots) and recovery: ``latest()`` walks backwards past corrupt
+files to the newest verifiable snapshot.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.reliability.errors import CheckpointCorruptError
+from repro.utils.logging import get_logger
+
+logger = get_logger("reliability.checkpoint")
+
+MAGIC = b"RPROCKPT1\n"
+SNAPSHOT_VERSION = 1
+
+_META_KEY = "__meta__"
+_MODEL_PREFIX = "model."
+_OPTIM_PREFIX = "optim."
+
+
+@dataclass
+class TrainingSnapshot:
+    """Everything needed to continue a training run bit-exactly.
+
+    ``optimizer_state`` is whatever ``Optimizer.state_dict()`` returned
+    (scalars plus lists of moment arrays); ``trainer_rng_state`` is the
+    trainer's generator state *at the start of the current epoch*, so a
+    resume can re-draw the epoch's shuffle permutation and skip the
+    ``batch_in_epoch`` batches already consumed.
+    """
+
+    model_state: Dict[str, np.ndarray]
+    optimizer_state: Dict[str, Any]
+    trainer_rng_state: Optional[Dict[str, Any]]
+    module_rng_states: List[Dict[str, Any]]
+    history: Dict[str, Any]
+    epoch: int
+    batch_in_epoch: int
+    epoch_loss_sum: float = 0.0
+    n_batches_done: int = 0
+    best_metric: float = float("-inf")
+    stale: int = 0
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+def dumps_snapshot(snapshot: TrainingSnapshot) -> bytes:
+    """Serialise a snapshot to the framed checkpoint byte format."""
+    arrays: Dict[str, np.ndarray] = {}
+    for name, arr in snapshot.model_state.items():
+        arrays[_MODEL_PREFIX + name] = np.asarray(arr)
+
+    optim_scalars: Dict[str, Any] = {}
+    optim_array_lens: Dict[str, int] = {}
+    for key, value in snapshot.optimizer_state.items():
+        if isinstance(value, (list, tuple)) and all(
+            isinstance(item, np.ndarray) for item in value
+        ):
+            optim_array_lens[key] = len(value)
+            for i, item in enumerate(value):
+                arrays[f"{_OPTIM_PREFIX}{key}.{i}"] = item
+        else:
+            optim_scalars[key] = value
+
+    meta = {
+        "snapshot_version": SNAPSHOT_VERSION,
+        "optimizer_scalars": optim_scalars,
+        "optimizer_array_lens": optim_array_lens,
+        "trainer_rng_state": snapshot.trainer_rng_state,
+        "module_rng_states": snapshot.module_rng_states,
+        "history": snapshot.history,
+        "epoch": snapshot.epoch,
+        "batch_in_epoch": snapshot.batch_in_epoch,
+        "epoch_loss_sum": snapshot.epoch_loss_sum,
+        "n_batches_done": snapshot.n_batches_done,
+        "best_metric": snapshot.best_metric,
+        "stale": snapshot.stale,
+        "metadata": snapshot.metadata,
+    }
+    blob = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
+    buffer = io.BytesIO()
+    np.savez(buffer, **arrays, **{_META_KEY: blob})
+    payload = buffer.getvalue()
+    digest = hashlib.sha256(payload).hexdigest().encode("ascii")
+    return MAGIC + digest + b"\n" + payload
+
+
+def loads_snapshot(data: bytes) -> TrainingSnapshot:
+    """Parse framed checkpoint bytes, verifying magic and checksum."""
+    if not data.startswith(MAGIC):
+        raise CheckpointCorruptError("bad magic: not a repro checkpoint")
+    rest = data[len(MAGIC) :]
+    newline = rest.find(b"\n")
+    if newline != 64:
+        raise CheckpointCorruptError("malformed checksum header")
+    digest = rest[:64].decode("ascii", errors="replace")
+    payload = rest[65:]
+    actual = hashlib.sha256(payload).hexdigest()
+    if actual != digest:
+        raise CheckpointCorruptError(
+            f"checksum mismatch: header {digest[:12]}..., payload {actual[:12]}..."
+        )
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
+            meta = json.loads(bytes(archive[_META_KEY]).decode("utf-8"))
+            arrays = {
+                key: archive[key] for key in archive.files if key != _META_KEY
+            }
+    except CheckpointCorruptError:
+        raise
+    except Exception as exc:  # zip/json/key errors -> one corruption class
+        raise CheckpointCorruptError(f"unreadable checkpoint payload: {exc}") from exc
+
+    if meta.get("snapshot_version", 0) > SNAPSHOT_VERSION:
+        raise CheckpointCorruptError(
+            f"snapshot version {meta['snapshot_version']} is newer than "
+            f"this library supports ({SNAPSHOT_VERSION})"
+        )
+
+    model_state = {
+        key[len(_MODEL_PREFIX) :]: value
+        for key, value in arrays.items()
+        if key.startswith(_MODEL_PREFIX)
+    }
+    optimizer_state: Dict[str, Any] = dict(meta["optimizer_scalars"])
+    for key, length in meta["optimizer_array_lens"].items():
+        optimizer_state[key] = [
+            arrays[f"{_OPTIM_PREFIX}{key}.{i}"] for i in range(length)
+        ]
+    return TrainingSnapshot(
+        model_state=model_state,
+        optimizer_state=optimizer_state,
+        trainer_rng_state=meta["trainer_rng_state"],
+        module_rng_states=meta["module_rng_states"],
+        history=meta["history"],
+        epoch=meta["epoch"],
+        batch_in_epoch=meta["batch_in_epoch"],
+        epoch_loss_sum=meta["epoch_loss_sum"],
+        n_batches_done=meta["n_batches_done"],
+        best_metric=meta["best_metric"],
+        stale=meta["stale"],
+        metadata=meta["metadata"],
+    )
+
+
+def save_snapshot(snapshot: TrainingSnapshot, path: "Path | str") -> Path:
+    """Write one snapshot atomically (temp file + rename)."""
+    path = Path(path)
+    data = dumps_snapshot(snapshot)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def load_snapshot(path: "Path | str") -> TrainingSnapshot:
+    """Read and verify one snapshot; raises :class:`CheckpointCorruptError`."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointCorruptError(f"cannot read checkpoint {path}: {exc}") from exc
+    return loads_snapshot(data)
+
+
+def verify_snapshot(path: "Path | str") -> bool:
+    """True when the file parses and its checksum matches."""
+    try:
+        load_snapshot(path)
+    except CheckpointCorruptError:
+        return False
+    return True
+
+
+class CheckpointManager:
+    """Rotating checkpoint store with corruption-tolerant recovery."""
+
+    def __init__(self, directory: "Path | str", keep: int = 3) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+
+    # ------------------------------------------------------------------
+    def path_for(self, step: int) -> Path:
+        return self.directory / f"ckpt-{step:010d}.ckpt"
+
+    def paths(self) -> List[Path]:
+        """All stored checkpoint paths, oldest first."""
+        return sorted(self.directory.glob("ckpt-*.ckpt"))
+
+    # ------------------------------------------------------------------
+    def save(self, snapshot: TrainingSnapshot, step: int) -> Path:
+        """Persist ``snapshot`` under a monotonically named file."""
+        path = save_snapshot(snapshot, self.path_for(step))
+        logger.debug("checkpoint saved: %s", path.name)
+        self._rotate()
+        return path
+
+    def latest(self) -> Optional[Path]:
+        """Newest *verifiable* checkpoint, skipping corrupt files."""
+        for path in reversed(self.paths()):
+            if verify_snapshot(path):
+                return path
+            logger.warning(
+                "checkpoint %s failed verification; falling back to the "
+                "previous snapshot",
+                path.name,
+            )
+        return None
+
+    def load(self, path: "Path | str") -> TrainingSnapshot:
+        return load_snapshot(path)
+
+    def load_latest(self) -> Optional[TrainingSnapshot]:
+        """Load the newest valid snapshot (None when the store is empty)."""
+        path = self.latest()
+        return None if path is None else load_snapshot(path)
+
+    # ------------------------------------------------------------------
+    def _rotate(self) -> None:
+        for stale in self.paths()[: -self.keep or None]:
+            stale.unlink(missing_ok=True)

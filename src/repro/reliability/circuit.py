@@ -1,0 +1,91 @@
+"""A minimal circuit breaker for the serving fallback chain.
+
+Classic three-state machine:
+
+* **closed** -- normal operation; consecutive failures are counted and
+  ``failure_threshold`` of them open the circuit;
+* **open** -- the primary path is skipped entirely (no retries burning
+  latency on a dead model) until ``recovery_time`` has elapsed;
+* **half_open** -- one probe call is allowed through; success closes
+  the circuit, failure re-opens it and restarts the cool-down.
+
+The clock is injectable so tests can drive state transitions
+deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with timed half-open probes."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_time: float = 30.0,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if recovery_time < 0:
+            raise ValueError(f"recovery_time must be >= 0, got {recovery_time}")
+        self.failure_threshold = failure_threshold
+        self.recovery_time = recovery_time
+        self._clock = clock or time.monotonic
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        #: Lifetime counters, observable for dashboards and tests.
+        self.total_failures = 0
+        self.total_successes = 0
+        self.times_opened = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, promoting open -> half_open after cool-down."""
+        if (
+            self._state == self.OPEN
+            and self._clock() - self._opened_at >= self.recovery_time
+        ):
+            self._state = self.HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May the caller attempt the primary path right now?"""
+        return self.state != self.OPEN
+
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        self.total_successes += 1
+        self._consecutive_failures = 0
+        self._state = self.CLOSED
+
+    def record_failure(self) -> None:
+        self.total_failures += 1
+        if self.state == self.HALF_OPEN:
+            self._open()
+            return
+        self._consecutive_failures += 1
+        if self._consecutive_failures >= self.failure_threshold:
+            self._open()
+
+    def reset(self) -> None:
+        """Force back to closed (operator override)."""
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+
+    def _open(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self.times_opened += 1

@@ -1,0 +1,52 @@
+"""Exception taxonomy shared across the reliability subsystem.
+
+Every failure the subsystem can surface derives from
+:class:`ReliabilityError`, so callers can catch one base class at the
+process boundary.  The structured warnings (propensity collapse) are
+``Warning`` subclasses rather than exceptions: they signal statistical
+degradation that training can survive, not a hard fault.
+"""
+
+from __future__ import annotations
+
+
+class ReliabilityError(RuntimeError):
+    """Base class for all reliability-subsystem failures."""
+
+
+class CheckpointCorruptError(ReliabilityError):
+    """A checkpoint failed checksum or structural validation.
+
+    Raised by :mod:`repro.reliability.checkpoint` when a snapshot is
+    truncated, bit-flipped, or otherwise unreadable.  Recovery scans
+    (``CheckpointManager.latest``) catch this and fall back to the
+    previous snapshot instead of propagating.
+    """
+
+
+class DivergenceError(ReliabilityError):
+    """Training diverged beyond what the guard policy can absorb.
+
+    Raised by the trainer when :class:`~repro.reliability.guards.LossGuard`
+    trips more than ``max_trips`` times in one run -- at that point
+    rollback-and-retry is looping, not recovering.
+    """
+
+
+class ScoringUnavailableError(ReliabilityError):
+    """The primary scoring path failed to produce scores.
+
+    Raised by the chaos wrapper (injected faults) and used by
+    :class:`~repro.simulation.serving.RankingService` to classify any
+    scoring exception before engaging the fallback chain.
+    """
+
+
+class PropensityCollapseWarning(UserWarning):
+    """The propensity head is piling up at the clip boundary.
+
+    Inverse-propensity weights ``1/o_hat`` diverge as propensities
+    collapse toward 0 or 1; clipping bounds the weights but silently
+    biases the estimator.  This warning surfaces the pile-up as a
+    structured signal instead of letting the bias pass unnoticed.
+    """

@@ -1,0 +1,174 @@
+"""Deterministic fault injection for training batches.
+
+:class:`FaultInjector` corrupts :class:`~repro.data.dataset.Batch`
+objects in the ways production pipelines actually fail: NaN-poisoned
+dense features (upstream join bugs), dropped rows (log truncation),
+zero-click batches (traffic segmentation gone wrong), and flipped
+conversion labels (attribution delays).  Corruption is keyed by
+``(seed, epoch, batch_index)`` through ``SeedSequence``, so a given run
+corrupts exactly the same batches in exactly the same way every time --
+chaos you can put in a regression test.
+
+All mutators return *new* batches (inputs are never modified) and
+preserve the dataset invariants: conversions and actions stay zero
+outside the click space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+import numpy as np
+
+from repro.data.dataset import Batch
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Per-batch fault probabilities and intensities."""
+
+    #: Probability a batch gets NaN-poisoned dense features.
+    nan_feature_rate: float = 0.0
+    #: Fraction of rows poisoned when the NaN fault fires.
+    nan_fraction: float = 0.25
+    #: Probability a batch loses rows.
+    drop_row_rate: float = 0.0
+    #: Fraction of rows dropped when the drop fault fires.
+    drop_fraction: float = 0.25
+    #: Probability a batch has all clicks (and conversions) zeroed.
+    zero_click_rate: float = 0.0
+    #: Probability a batch gets conversion labels flipped in O.
+    label_flip_rate: float = 0.0
+    #: Fraction of clicked rows flipped when the flip fault fires.
+    flip_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        for name in (
+            "nan_feature_rate",
+            "nan_fraction",
+            "drop_row_rate",
+            "drop_fraction",
+            "zero_click_rate",
+            "label_flip_rate",
+            "flip_fraction",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass
+class FaultRecord:
+    """One applied fault, for test assertions and run forensics."""
+
+    epoch: int
+    batch: int
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+def _clone(batch: Batch) -> Batch:
+    return Batch(
+        sparse={k: v.copy() for k, v in batch.sparse.items()},
+        dense={k: v.copy() for k, v in batch.dense.items()},
+        clicks=batch.clicks.copy(),
+        conversions=batch.conversions.copy(),
+        actions=None if batch.actions is None else batch.actions.copy(),
+    )
+
+
+class FaultInjector:
+    """Seeded batch corruptor with a log of every applied fault."""
+
+    def __init__(self, spec: FaultSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.seed = seed
+        self.log: List[FaultRecord] = []
+
+    # -- individual mutators (deterministic given the rng) -------------
+    @staticmethod
+    def nan_features(
+        batch: Batch, fraction: float, rng: np.random.Generator
+    ) -> Batch:
+        """Poison a row subset of every dense feature with NaN."""
+        out = _clone(batch)
+        n = out.size
+        k = max(1, int(round(fraction * n)))
+        rows = rng.choice(n, size=min(k, n), replace=False)
+        for key in out.dense:
+            column = out.dense[key].astype(float, copy=True)
+            column[rows] = np.nan
+            out.dense[key] = column
+        return out
+
+    @staticmethod
+    def drop_rows(
+        batch: Batch, fraction: float, rng: np.random.Generator
+    ) -> Batch:
+        """Drop a row subset (keeps at least one row)."""
+        n = batch.size
+        k = min(max(1, int(round(fraction * n))), n - 1) if n > 1 else 0
+        dropped = set(rng.choice(n, size=k, replace=False).tolist())
+        keep = np.array([i for i in range(n) if i not in dropped], dtype=np.int64)
+        return Batch(
+            sparse={k_: v[keep] for k_, v in batch.sparse.items()},
+            dense={k_: v[keep] for k_, v in batch.dense.items()},
+            clicks=batch.clicks[keep],
+            conversions=batch.conversions[keep],
+            actions=None if batch.actions is None else batch.actions[keep],
+        )
+
+    @staticmethod
+    def zero_clicks(batch: Batch) -> Batch:
+        """Zero every click -- and, to keep the invariant, conversions."""
+        out = _clone(batch)
+        out.clicks[:] = 0
+        out.conversions[:] = 0
+        if out.actions is not None:
+            out.actions[:] = 0
+        return out
+
+    @staticmethod
+    def flip_labels(
+        batch: Batch, fraction: float, rng: np.random.Generator
+    ) -> Batch:
+        """Flip conversion labels on a subset of *clicked* rows."""
+        out = _clone(batch)
+        clicked = np.flatnonzero(out.clicks == 1)
+        if len(clicked) == 0:
+            return out
+        k = max(1, int(round(fraction * len(clicked))))
+        rows = rng.choice(clicked, size=min(k, len(clicked)), replace=False)
+        out.conversions[rows] = 1 - out.conversions[rows]
+        return out
+
+    # -- batch-position-keyed chaos ------------------------------------
+    def _rng_for(self, epoch: int, index: int) -> np.random.Generator:
+        return np.random.default_rng(
+            np.random.SeedSequence([self.seed, epoch, index])
+        )
+
+    def corrupt(self, batch: Batch, epoch: int = 0, index: int = 0) -> Batch:
+        """Apply the spec's faults to one batch, deterministically.
+
+        The decision and the corruption both come from an rng derived
+        from ``(seed, epoch, index)``, so resumed runs see identical
+        faults without replaying earlier batches.
+        """
+        spec = self.spec
+        rng = self._rng_for(epoch, index)
+        out = batch
+        if spec.drop_row_rate and rng.random() < spec.drop_row_rate:
+            out = self.drop_rows(out, spec.drop_fraction, rng)
+            self.log.append(FaultRecord(epoch, index, "drop_rows"))
+        if spec.zero_click_rate and rng.random() < spec.zero_click_rate:
+            out = self.zero_clicks(out)
+            self.log.append(FaultRecord(epoch, index, "zero_clicks"))
+        if spec.label_flip_rate and rng.random() < spec.label_flip_rate:
+            out = self.flip_labels(out, spec.flip_fraction, rng)
+            self.log.append(FaultRecord(epoch, index, "flip_labels"))
+        if spec.nan_feature_rate and rng.random() < spec.nan_feature_rate:
+            out = self.nan_features(out, spec.nan_fraction, rng)
+            self.log.append(FaultRecord(epoch, index, "nan_features"))
+        return out

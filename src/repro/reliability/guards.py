@@ -1,0 +1,184 @@
+"""Divergence guards: loss anomaly detection and propensity monitoring.
+
+:class:`LossGuard` watches the per-batch loss stream for two failure
+signatures:
+
+* **non-finite** losses (NaN/inf) -- the classic IPW blow-up;
+* **spikes** -- a finite loss whose rolling z-score against the recent
+  window exceeds a threshold, the early warning that the run is about
+  to leave the stable region.
+
+The guard only *detects*; the trainer decides what to do on a trip
+(roll back to the last good state, halve the learning rate, record a
+:class:`GuardEvent`).  Keeping the policy in the trainer means the
+guard is reusable for any loop that produces a scalar series.
+
+``propensity_collapse_fraction`` quantifies the other production
+failure mode of causal CVR estimators: ``o_hat`` piling up at the clip
+boundary, where ``1/o_hat`` weights are silently saturated and the
+debiasing is no longer doing what the math says.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from collections import deque
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.reliability.errors import PropensityCollapseWarning
+from repro.utils.logging import get_logger
+
+logger = get_logger("reliability.guards")
+
+
+@dataclass(frozen=True)
+class LossGuardConfig:
+    """Detection thresholds and the trainer's reaction policy."""
+
+    #: Rolling window of recent good losses used for the z-score.
+    window: int = 32
+    #: Spike threshold: trip when ``(loss - mean) / std`` exceeds this.
+    z_threshold: float = 8.0
+    #: Minimum good losses observed before spike detection activates
+    #: (non-finite detection is always active).
+    min_history: int = 8
+    #: Multiply the learning rate by this on every trip.
+    lr_factor: float = 0.5
+    #: Never decay the learning rate below this floor.
+    min_lr: float = 1e-6
+    #: Abort (``DivergenceError``) after this many trips in one run.
+    max_trips: int = 10
+    #: Refresh the in-memory rollback state every N clean steps.
+    refresh_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError(f"window must be >= 2, got {self.window}")
+        if self.z_threshold <= 0:
+            raise ValueError(f"z_threshold must be > 0, got {self.z_threshold}")
+        if self.min_history < 2:
+            raise ValueError(f"min_history must be >= 2, got {self.min_history}")
+        if not 0.0 < self.lr_factor < 1.0:
+            raise ValueError(f"lr_factor must be in (0, 1), got {self.lr_factor}")
+        if self.max_trips < 1:
+            raise ValueError(f"max_trips must be >= 1, got {self.max_trips}")
+        if self.refresh_every < 1:
+            raise ValueError(f"refresh_every must be >= 1, got {self.refresh_every}")
+
+
+@dataclass
+class GuardEvent:
+    """One recorded guard intervention (stored in ``TrainingHistory``)."""
+
+    epoch: int
+    batch: int
+    reason: str
+    value: float
+    action: str
+    lr_after: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "GuardEvent":
+        return cls(**data)
+
+
+class LossGuard:
+    """Streaming anomaly detector over a scalar loss series."""
+
+    def __init__(self, config: Optional[LossGuardConfig] = None) -> None:
+        self.config = config or LossGuardConfig()
+        self._recent: "deque[float]" = deque(maxlen=self.config.window)
+        self.trips = 0
+
+    # ------------------------------------------------------------------
+    def check(self, value: float) -> Optional[str]:
+        """Classify one loss value; returns a trip reason or None.
+
+        A trip is *not* recorded into the rolling window -- anomalous
+        values must never poison the statistics used to detect the next
+        anomaly.
+        """
+        if not math.isfinite(value):
+            return "non_finite_loss"
+        if len(self._recent) >= self.config.min_history:
+            mean = float(np.mean(self._recent))
+            std = float(np.std(self._recent))
+            z = (value - mean) / max(std, 1e-12)
+            if z > self.config.z_threshold:
+                return "loss_spike"
+        return None
+
+    def record(self, value: float) -> None:
+        """Add a known-good loss to the rolling window."""
+        self._recent.append(float(value))
+
+    def observe(self, value: float) -> Optional[str]:
+        """``check`` then ``record`` when clean; returns the trip reason."""
+        reason = self.check(value)
+        if reason is None:
+            self.record(value)
+        else:
+            self.trips += 1
+        return reason
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the trip budget is spent."""
+        return self.trips >= self.config.max_trips
+
+    @property
+    def recent_losses(self) -> list:
+        """Copy of the rolling window (checkpointed for exact resume)."""
+        return list(self._recent)
+
+
+# ----------------------------------------------------------------------
+def propensity_collapse_fraction(
+    propensities: np.ndarray, floor: float
+) -> float:
+    """Fraction of ``o_hat`` at or beyond the clip boundary.
+
+    Raw (pre-clip) propensities below ``floor`` or above ``1 - floor``
+    would be saturated by :func:`repro.core.losses.clip_propensity`;
+    a high fraction means the IPW weights are effectively constants and
+    the estimator is quietly biased.
+    """
+    if not 0.0 < floor < 0.5:
+        raise ValueError(f"floor must be in (0, 0.5), got {floor}")
+    p = np.asarray(propensities, dtype=float)
+    if p.size == 0:
+        return 0.0
+    collapsed = (p <= floor) | (p >= 1.0 - floor)
+    return float(collapsed.mean())
+
+
+def warn_on_propensity_collapse(
+    propensities: np.ndarray,
+    floor: float,
+    threshold: float = 0.5,
+    context: str = "",
+) -> Optional[float]:
+    """Emit a structured :class:`PropensityCollapseWarning` on pile-up.
+
+    Returns the collapsed fraction when it exceeds ``threshold`` (and a
+    warning was issued), otherwise None.
+    """
+    fraction = propensity_collapse_fraction(propensities, floor)
+    if fraction <= threshold:
+        return None
+    message = (
+        f"propensity collapse: {fraction:.1%} of o_hat at the clip "
+        f"boundary (floor={floor})"
+    )
+    if context:
+        message = f"{message} [{context}]"
+    warnings.warn(message, PropensityCollapseWarning, stacklevel=2)
+    logger.warning(message)
+    return fraction

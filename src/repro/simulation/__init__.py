@@ -7,7 +7,9 @@ Top-5 PV-CVR per day.  This package reproduces that protocol against
 the synthetic behaviour world:
 
 * :class:`~repro.simulation.serving.RankingService` -- scores candidate
-  items with a trained model and serves the top-k;
+  items with a trained model and serves the top-k, behind a circuit
+  breaker with a CTR-model / popularity fallback chain so a page is
+  always served;
 * :class:`~repro.simulation.behavior.BehaviorSimulator` -- rolls out
   clicks and conversions from the scenario's true behaviour model
   (including the hidden attention confounder);
@@ -16,7 +18,7 @@ the synthetic behaviour world:
   day-1 prediction log used by the Fig. 7 reproduction.
 """
 
-from repro.simulation.serving import RankingService
+from repro.simulation.serving import RankingService, ServingStats
 from repro.simulation.behavior import BehaviorSimulator, PageViewOutcome
 from repro.simulation.ab_test import (
     ABTest,
@@ -27,6 +29,7 @@ from repro.simulation.ab_test import (
 
 __all__ = [
     "RankingService",
+    "ServingStats",
     "BehaviorSimulator",
     "PageViewOutcome",
     "ABTest",

@@ -6,17 +6,83 @@ clicks per page view).  Because features depend on the display
 position, candidates are scored *as if* shown at the top position and
 the resulting order determines the actual positions -- the standard
 score-then-place serving loop.
+
+Serving is degradation-tolerant: the primary scorer runs behind a
+circuit breaker with bounded retries, and on failure the service walks
+a fallback chain -- the shared CTR model, then a static popularity
+prior -- so **a page is always served**.  Which path produced each page
+is observable through :class:`ServingStats` and the breaker state
+(``service.breaker.state``).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.data.dataset import Batch
 from repro.data.synthetic import SyntheticScenario
 from repro.models.base import MultiTaskModel
+from repro.reliability.circuit import CircuitBreaker
+from repro.reliability.config import ServingPolicy
+from repro.reliability.errors import ScoringUnavailableError
+from repro.utils.logging import get_logger, log_event
+
+logger = get_logger("simulation.serving")
+
+
+@dataclass
+class ServingStats:
+    """Counters for the primary path and every fallback engagement."""
+
+    requests: int = 0
+    primary: int = 0
+    retries: int = 0
+    breaker_short_circuits: int = 0
+    fallback_ctr_provider: int = 0
+    fallback_popularity: int = 0
+    #: Scoring source of the most recent request.
+    last_source: str = ""
+    #: Requests served per source (redundant with the counters above,
+    #: but convenient for dashboards).
+    by_source: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, source: str) -> None:
+        self.last_source = source
+        self.by_source[source] = self.by_source.get(source, 0) + 1
+
+    @property
+    def degraded_fraction(self) -> float:
+        """Share of requests not served by the primary scorer."""
+        if self.requests == 0:
+            return 0.0
+        return 1.0 - self.primary / self.requests
+
+
+def _validate_scoring_model(model, role: str) -> None:
+    """A usable scorer: a real model whose parameters are finite.
+
+    "Fitted" cannot be observed directly (the substrate has no fitted
+    flag), so we check the strongest available proxy: the object is a
+    :class:`MultiTaskModel` with at least one parameter and no NaN/inf
+    weights -- the state any diverged or half-loaded model fails.
+    """
+    if not isinstance(model, MultiTaskModel):
+        raise TypeError(
+            f"{role} must be a MultiTaskModel, got {type(model).__name__}"
+        )
+    params = model.parameters()
+    if not params:
+        raise ValueError(f"{role} has no parameters")
+    for p in params:
+        if not np.all(np.isfinite(p.data)):
+            raise ValueError(
+                f"{role} has non-finite parameters; refusing to serve a "
+                "diverged model"
+            )
 
 
 class RankingService:
@@ -28,12 +94,17 @@ class RankingService:
         scenario: SyntheticScenario,
         page_size: int = 10,
         objective: str = "ctcvr",
-        ctr_provider: "MultiTaskModel" = None,
+        ctr_provider: Optional[MultiTaskModel] = None,
+        policy: Optional[ServingPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         if page_size < 1:
             raise ValueError(f"page_size must be >= 1, got {page_size}")
         if objective not in ("ctcvr", "cvr", "ctr"):
             raise ValueError(f"unknown ranking objective {objective!r}")
+        _validate_scoring_model(model, "model")
+        if ctr_provider is not None:
+            _validate_scoring_model(ctr_provider, "ctr_provider")
         self.model = model
         self.scenario = scenario
         self.page_size = page_size
@@ -42,8 +113,36 @@ class RankingService:
         #: buckets deploy different *CVR* estimators while the rest of
         #: the production stack (including the CTR estimate entering
         #: the ranking formula) is shared; passing the base bucket's
-        #: model here reproduces that isolation.
+        #: model here reproduces that isolation.  It doubles as the
+        #: first fallback scorer when the primary path fails.
         self.ctr_provider = ctr_provider
+        self.policy = policy or ServingPolicy()
+        self.breaker = breaker or CircuitBreaker(
+            failure_threshold=self.policy.breaker_failure_threshold,
+            recovery_time=self.policy.breaker_recovery_time,
+        )
+        self.stats = ServingStats()
+        #: CVR prior reported for fallback-served pages (the scenario's
+        #: calibrated click-space conversion rate).
+        self._cvr_prior = float(scenario.config.target_cvr_given_click)
+
+    # ------------------------------------------------------------------
+    def _features(
+        self,
+        user: int,
+        candidates: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Batch:
+        n = len(candidates)
+        users = np.full(n, user)
+        positions = np.zeros(n, dtype=np.int64)  # scored as-if top slot
+        sparse, dense = self.scenario.features_for(users, candidates, positions, rng)
+        return Batch(
+            sparse=sparse,
+            dense=dense,
+            clicks=np.zeros(n, dtype=np.int64),
+            conversions=np.zeros(n, dtype=np.int64),
+        )
 
     def score_candidates(
         self,
@@ -52,16 +151,7 @@ class RankingService:
         rng: np.random.Generator,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(scores, cvr_predictions)`` for the candidate items."""
-        n = len(candidates)
-        users = np.full(n, user)
-        positions = np.zeros(n, dtype=np.int64)  # scored as-if top slot
-        sparse, dense = self.scenario.features_for(users, candidates, positions, rng)
-        batch = Batch(
-            sparse=sparse,
-            dense=dense,
-            clicks=np.zeros(n, dtype=np.int64),
-            conversions=np.zeros(n, dtype=np.int64),
-        )
+        batch = self._features(user, candidates, rng)
         preds = self.model.predict(batch)
         ctr = preds.ctr
         if self.ctr_provider is not None and self.ctr_provider is not self.model:
@@ -73,6 +163,75 @@ class RankingService:
         }[self.objective]
         return scores, preds.cvr
 
+    # -- the fallback chain --------------------------------------------
+    def _score_with_fallback(
+        self,
+        user: int,
+        candidates: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray, str]:
+        """Primary scorer -> shared CTR model -> popularity prior.
+
+        Every failure of the primary path feeds the circuit breaker;
+        while the breaker is open the primary is skipped outright, so a
+        dead model costs one state check instead of a retry storm.
+        """
+        policy = self.policy
+        if self.breaker.allow():
+            for attempt in range(1 + policy.max_retries):
+                try:
+                    scores, cvr = self.score_candidates(user, candidates, rng)
+                except Exception as exc:
+                    self.breaker.record_failure()
+                    wrapped = (
+                        exc
+                        if isinstance(exc, ScoringUnavailableError)
+                        else ScoringUnavailableError(f"primary scorer failed: {exc}")
+                    )
+                    log_event(
+                        logger,
+                        "scoring_failure",
+                        level=30,  # WARNING
+                        attempt=attempt,
+                        breaker=self.breaker.state,
+                        error=str(wrapped),
+                    )
+                    if attempt < policy.max_retries and self.breaker.allow():
+                        self.stats.retries += 1
+                        if policy.backoff_s:
+                            time.sleep(
+                                policy.backoff_s
+                                * policy.backoff_multiplier**attempt
+                            )
+                        continue
+                    break
+                else:
+                    self.breaker.record_success()
+                    self.stats.primary += 1
+                    return scores, cvr, "primary"
+        else:
+            self.stats.breaker_short_circuits += 1
+
+        if self.ctr_provider is not None and self.ctr_provider is not self.model:
+            try:
+                batch = self._features(user, candidates, rng)
+                ctr = self.ctr_provider.predict(batch).ctr
+                self.stats.fallback_ctr_provider += 1
+                cvr = np.full(len(candidates), self._cvr_prior)
+                return ctr, cvr, "ctr_provider"
+            except Exception as exc:
+                log_event(
+                    logger, "fallback_ctr_failure", level=30, error=str(exc)
+                )
+
+        # Last resort: the scenario's Zipf popularity prior.  Static,
+        # model-free, and cannot fail -- the page is always served.
+        scores = self.scenario.item_popularity[candidates]
+        cvr = np.full(len(candidates), self._cvr_prior)
+        self.stats.fallback_popularity += 1
+        return scores, cvr, "popularity"
+
+    # ------------------------------------------------------------------
     def serve_page(
         self,
         user: int,
@@ -83,10 +242,14 @@ class RankingService:
 
         ``page_items`` are the top ``page_size`` item ids in display
         order; ``cvr_predictions`` are the model's CVR estimates for
-        those items (logged for the Fig. 7 analysis).
+        those items (logged for the Fig. 7 analysis).  When the primary
+        scorer is unavailable the fallback chain ranks the page instead
+        (see :class:`ServingStats` for which path served what).
         """
         if len(candidates) == 0:
             raise ValueError("cannot serve an empty candidate list")
-        scores, cvr = self.score_candidates(user, candidates, rng)
+        self.stats.requests += 1
+        scores, cvr, source = self._score_with_fallback(user, candidates, rng)
+        self.stats.record(source)
         order = np.argsort(-scores)[: self.page_size]
         return candidates[order], cvr[order]

@@ -4,15 +4,19 @@
 protocol (Adam, batch 1024, up to 5 epochs, L2 weight decay as
 ``lambda_2``); :mod:`~repro.training.evaluation` computes the offline
 metrics of Table IV plus the entire-space diagnostics enabled by the
-synthetic oracle.
+synthetic oracle.  Fault tolerance (checkpoint/resume, divergence
+guards, fault injection) is armed by passing a
+:class:`~repro.reliability.ReliabilityConfig` to the trainer.
 """
 
+from repro.reliability.config import ReliabilityConfig
 from repro.training.config import TrainConfig
 from repro.training.trainer import Trainer, TrainingHistory
 from repro.training.evaluation import EvaluationResult, evaluate_model
 
 __all__ = [
     "TrainConfig",
+    "ReliabilityConfig",
     "Trainer",
     "TrainingHistory",
     "EvaluationResult",

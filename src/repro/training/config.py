@@ -28,6 +28,16 @@ class TrainConfig:
     early_stopping_patience: Optional[int] = None
 
     def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> "TrainConfig":
+        """Raise ``ValueError`` for nonsensical settings; returns self.
+
+        Called automatically on construction and again by
+        ``Trainer.__init__`` (defence in depth: configs built through
+        ``dataclasses.replace`` tricks or deserialisation may bypass
+        ``__post_init__`` semantics the caller expects).
+        """
         if self.epochs < 1:
             raise ValueError(f"epochs must be >= 1, got {self.epochs}")
         if self.batch_size < 1:
@@ -38,6 +48,12 @@ class TrainConfig:
             raise ValueError(f"weight_decay must be >= 0, got {self.weight_decay}")
         if self.grad_clip is not None and self.grad_clip <= 0:
             raise ValueError(f"grad_clip must be positive or None, got {self.grad_clip}")
+        if self.early_stopping_patience is not None and self.early_stopping_patience < 0:
+            raise ValueError(
+                "early_stopping_patience must be >= 0 or None, got "
+                f"{self.early_stopping_patience}"
+            )
+        return self
 
     def with_overrides(self, **kwargs) -> "TrainConfig":
         return replace(self, **kwargs)

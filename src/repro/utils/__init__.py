@@ -1,6 +1,6 @@
 """Small shared utilities: seeding helpers and progress logging."""
 
 from repro.utils.rng import spawn_rngs, rng_from_seed
-from repro.utils.logging import get_logger
+from repro.utils.logging import get_logger, log_event
 
-__all__ = ["spawn_rngs", "rng_from_seed", "get_logger"]
+__all__ = ["spawn_rngs", "rng_from_seed", "get_logger", "log_event"]

@@ -18,6 +18,28 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(name)
 
 
+def log_event(
+    logger: logging.Logger,
+    event: str,
+    level: int = logging.INFO,
+    **fields,
+) -> None:
+    """Emit one structured ``key=value`` event line.
+
+    Reliability code logs machine-parseable events (checkpoint saves,
+    guard trips, fallback engagements) so post-mortems can grep a
+    single stable format: ``event=loss_guard_trip epoch=3 reason=...``.
+    Floats are compacted to 6 significant digits; field order is the
+    caller's keyword order.
+    """
+    parts = [f"event={event}"]
+    for key, value in fields.items():
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        parts.append(f"{key}={value}")
+    logger.log(level, " ".join(parts))
+
+
 def enable_console_logging(level: int = logging.INFO) -> None:
     """Opt-in console logging for scripts and examples."""
     root = logging.getLogger("repro")

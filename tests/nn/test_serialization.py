@@ -1,4 +1,4 @@
-"""Tests for model checkpointing."""
+"""Tests for model and optimizer checkpointing."""
 
 import numpy as np
 import pytest
@@ -9,9 +9,12 @@ from repro.nn import Linear
 from repro.nn.serialization import (
     FORMAT_VERSION,
     load_checkpoint,
+    load_optimizer_state,
     peek_metadata,
     save_checkpoint,
+    save_optimizer_state,
 )
+from repro.optim import SGD, Adam
 
 
 @pytest.fixture(scope="module")
@@ -87,3 +90,102 @@ class TestErrors:
         np.savez(tmp_path / "raw.npz", **layer.state_dict())
         meta = load_checkpoint(layer, tmp_path / "raw.npz")
         assert meta == {}
+
+
+def _take_steps(model, optimizer, batch, n):
+    for _ in range(n):
+        loss = model.loss(batch)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+
+
+class TestOptimizerState:
+    """Adam's bias correction depends on ``_step_count`` and its update
+    direction on the moment buffers -- losing either breaks bit-exact
+    resume, so the round trip must preserve all of it."""
+
+    @pytest.fixture()
+    def trained(self, world):
+        train, _ = world
+        model = build_model(
+            "dcmt", train.schema, ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+        )
+        optimizer = Adam(model.parameters(), lr=0.01, weight_decay=1e-4)
+        batch = train.subset(np.arange(256)).full_batch()
+        _take_steps(model, optimizer, batch, 5)
+        return model, optimizer, batch, train
+
+    def test_adam_moments_and_step_count_round_trip(self, trained, tmp_path):
+        model, optimizer, _, train = trained
+        save_optimizer_state(optimizer, tmp_path / "opt.npz", metadata={"note": "t5"})
+
+        fresh_model = build_model(
+            "dcmt", train.schema, ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=9)
+        )
+        fresh = Adam(fresh_model.parameters(), lr=0.5)
+        meta = load_optimizer_state(fresh, tmp_path / "opt.npz")
+        assert meta == {"note": "t5"}
+        assert fresh._step_count == optimizer._step_count == 5
+        assert fresh.lr == optimizer.lr
+        assert fresh.weight_decay == optimizer.weight_decay
+        for restored, original in zip(fresh._m, optimizer._m):
+            assert np.array_equal(restored, original)
+        for restored, original in zip(fresh._v, optimizer._v):
+            assert np.array_equal(restored, original)
+
+    def test_resumed_training_bit_exact(self, trained, tmp_path, world):
+        """(5 steps, save, 5 more) == (5 steps, restore elsewhere, 5 more)."""
+        model, optimizer, batch, train = trained
+        config = ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+        save_checkpoint(model, tmp_path / "model.npz")
+        save_optimizer_state(optimizer, tmp_path / "opt.npz")
+
+        # Continue the original run 5 more steps.
+        _take_steps(model, optimizer, batch, 5)
+
+        # Restore into fresh objects and take the same 5 steps.
+        resumed = build_model("dcmt", train.schema, config.with_overrides(seed=3))
+        load_checkpoint(resumed, tmp_path / "model.npz")
+        resumed_opt = Adam(resumed.parameters(), lr=0.01, weight_decay=1e-4)
+        load_optimizer_state(resumed_opt, tmp_path / "opt.npz")
+        _take_steps(resumed, resumed_opt, batch, 5)
+
+        original_state = model.state_dict()
+        for key, value in resumed.state_dict().items():
+            assert np.array_equal(original_state[key], value), key
+
+    def test_sgd_velocity_round_trip(self, tmp_path, rng):
+        layer = Linear(3, 2, rng)
+        optimizer = SGD(layer.parameters(), lr=0.1, momentum=0.9)
+        for v in optimizer._velocity:
+            v[...] = rng.normal(size=v.shape)
+        save_optimizer_state(optimizer, tmp_path / "sgd.npz")
+
+        fresh = SGD(Linear(3, 2, rng).parameters(), lr=0.5)
+        load_optimizer_state(fresh, tmp_path / "sgd.npz")
+        assert fresh.lr == 0.1
+        assert fresh.momentum == 0.9
+        for restored, original in zip(fresh._velocity, optimizer._velocity):
+            assert np.array_equal(restored, original)
+
+    def test_type_mismatch_rejected(self, tmp_path, rng):
+        layer = Linear(3, 2, rng)
+        save_optimizer_state(Adam(layer.parameters()), tmp_path / "a.npz")
+        with pytest.raises(ValueError, match="Adam"):
+            load_optimizer_state(SGD(layer.parameters()), tmp_path / "a.npz")
+
+    def test_shape_mismatch_rejected(self, tmp_path, rng):
+        save_optimizer_state(
+            Adam(Linear(3, 2, rng).parameters()), tmp_path / "a.npz"
+        )
+        with pytest.raises(ValueError, match="shape"):
+            load_optimizer_state(
+                Adam(Linear(4, 2, rng).parameters()), tmp_path / "a.npz"
+            )
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path, rng):
+        save_optimizer_state(
+            Adam(Linear(2, 2, rng).parameters()), tmp_path / "opt.npz"
+        )
+        assert list(tmp_path.glob("*.tmp")) == []

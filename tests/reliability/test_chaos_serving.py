@@ -1,0 +1,234 @@
+"""Degraded-mode serving: chaos injection, circuit breaker, fallbacks.
+
+The acceptance drill: at a 30% injected failure rate every single
+request still returns a full page, and the breaker state is observable
+throughout.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.models import ModelConfig, build_model
+from repro.reliability import ChaosScoring, CircuitBreaker
+from repro.reliability.config import ServingPolicy
+from repro.simulation.serving import RankingService, ServingStats
+
+pytestmark = pytest.mark.robustness
+
+MODEL_CONFIG = ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, _, scenario = load_scenario(
+        "ae_es", n_users=40, n_items=50, n_train=1500, n_test=200
+    )
+    primary = build_model("dcmt", train.schema, MODEL_CONFIG)
+    ctr = build_model("esmm", train.schema, MODEL_CONFIG.with_overrides(seed=1))
+    return scenario, primary, ctr
+
+
+def make_service(world, **kwargs):
+    scenario, primary, ctr = world
+    kwargs.setdefault("ctr_provider", ctr)
+    kwargs.setdefault(
+        "policy", ServingPolicy(max_retries=1, breaker_failure_threshold=3)
+    )
+    return RankingService(primary, scenario, page_size=8, **kwargs)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestChaosServing:
+    def test_every_request_serves_full_page_at_30_percent_chaos(self, world):
+        service = make_service(world)
+        rng = np.random.default_rng(11)
+        with ChaosScoring(service, failure_rate=0.3, seed=42) as chaos:
+            for request in range(200):
+                user = request % 40
+                page, cvr = service.serve_page(user, np.arange(30), rng)
+                assert len(page) == 8, f"request {request} served a short page"
+                assert len(cvr) == 8
+                assert np.all(np.isfinite(cvr))
+                assert service.breaker.state in ("closed", "open", "half_open")
+        assert chaos.failures_injected > 0
+        stats = service.stats
+        assert stats.requests == 200
+        # Every request is accounted for by exactly one source.
+        assert sum(stats.by_source.values()) == 200
+        # Chaos actually degraded some traffic, and the breaker opened.
+        assert stats.primary < 200
+        assert stats.primary + stats.fallback_ctr_provider + stats.fallback_popularity == 200
+        assert service.breaker.times_opened >= 1
+        assert 0.0 < stats.degraded_fraction <= 1.0
+
+    def test_total_outage_falls_back_to_popularity(self, world):
+        scenario, primary, _ = world
+        service = RankingService(
+            primary,
+            scenario,
+            page_size=6,
+            policy=ServingPolicy(max_retries=0, breaker_failure_threshold=1),
+        )
+        rng = np.random.default_rng(0)
+        with ChaosScoring(service, failure_rate=1.0, seed=0):
+            for _ in range(20):
+                page, _ = service.serve_page(0, np.arange(25), rng)
+                assert len(page) == 6
+        assert service.stats.primary == 0
+        assert service.stats.fallback_popularity == 20
+        assert service.stats.last_source == "popularity"
+        # After the first failure the breaker short-circuits the rest.
+        assert service.breaker.state == "open"
+        assert service.stats.breaker_short_circuits >= 1
+
+    def test_popularity_fallback_ranks_by_popularity(self, world):
+        scenario, primary, _ = world
+        service = RankingService(
+            primary,
+            scenario,
+            page_size=5,
+            policy=ServingPolicy(max_retries=0, breaker_failure_threshold=1),
+        )
+        candidates = np.arange(30)
+        with ChaosScoring(service, failure_rate=1.0, seed=0):
+            page, _ = service.serve_page(0, candidates, np.random.default_rng(3))
+        expected = candidates[
+            np.argsort(-scenario.item_popularity[candidates])
+        ][:5]
+        assert np.array_equal(page, expected)
+
+    def test_chaos_uninstall_restores_method(self, world):
+        service = make_service(world)
+        pristine = service.score_candidates
+        chaos = ChaosScoring(service, failure_rate=1.0, seed=0)
+        chaos.install()
+        assert service.score_candidates is not pristine
+        chaos.uninstall()
+        assert service.score_candidates.__func__ is pristine.__func__
+        # Clean primary path again.
+        page, _ = service.serve_page(0, np.arange(20), np.random.default_rng(0))
+        assert len(page) == 8
+        assert service.stats.last_source == "primary"
+
+    def test_chaos_failures_are_reproducible(self, world):
+        outcomes = []
+        for _ in range(2):
+            service = make_service(world)
+            with ChaosScoring(service, failure_rate=0.5, seed=9):
+                rng = np.random.default_rng(1)
+                for _ in range(40):
+                    service.serve_page(0, np.arange(20), rng)
+            outcomes.append(dict(service.stats.by_source))
+        assert outcomes[0] == outcomes[1]
+
+    def test_chaos_validation(self, world):
+        service = make_service(world)
+        with pytest.raises(ValueError):
+            ChaosScoring(service, failure_rate=1.5)
+        with pytest.raises(ValueError):
+            ChaosScoring(service, extra_latency_s=-1.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, recovery_time=10.0)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed" and breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open" and not breaker.allow()
+        assert breaker.times_opened == 1
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=30.0, clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        clock.now = 31.0
+        assert breaker.state == "half_open" and breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=30.0, clock=clock)
+        breaker.record_failure()
+        clock.now = 31.0
+        assert breaker.state == "half_open"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        # Cool-down restarted from the re-open time.
+        clock.now = 60.0
+        assert breaker.state == "open"
+        clock.now = 61.0
+        assert breaker.state == "half_open"
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.total_failures == 4
+        assert breaker.total_successes == 1
+
+    def test_reset_override(self):
+        breaker = CircuitBreaker(failure_threshold=1, recovery_time=1e9)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        breaker.reset()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(recovery_time=-1.0)
+
+
+class TestScoringModelValidation:
+    def test_ctr_provider_must_be_model(self, world):
+        scenario, primary, _ = world
+        with pytest.raises(TypeError, match="ctr_provider"):
+            RankingService(primary, scenario, ctr_provider="not a model")
+
+    def test_nonfinite_ctr_provider_rejected(self, world):
+        scenario, primary, _ = world
+        train, _, _ = load_scenario(
+            "ae_es", n_users=20, n_items=30, n_train=400, n_test=100
+        )
+        broken = build_model("esmm", train.schema, MODEL_CONFIG)
+        broken.parameters()[0].data[...] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            RankingService(primary, scenario, ctr_provider=broken)
+
+    def test_primary_model_validated_too(self, world):
+        scenario, _, _ = world
+        with pytest.raises(TypeError, match="model"):
+            RankingService(object(), scenario)
+
+
+class TestServingStats:
+    def test_degraded_fraction(self):
+        stats = ServingStats()
+        assert stats.degraded_fraction == 0.0
+        stats.requests = 10
+        stats.primary = 7
+        assert stats.degraded_fraction == pytest.approx(0.3)
+
+    def test_record_tracks_sources(self):
+        stats = ServingStats()
+        for source in ["primary", "primary", "popularity"]:
+            stats.record(source)
+        assert stats.by_source == {"primary": 2, "popularity": 1}
+        assert stats.last_source == "popularity"

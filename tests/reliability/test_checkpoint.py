@@ -1,0 +1,140 @@
+"""Checksummed checkpoint format: round trips, corruption, rotation."""
+
+import numpy as np
+import pytest
+
+from repro.reliability import (
+    CheckpointCorruptError,
+    CheckpointManager,
+    TrainingSnapshot,
+    load_snapshot,
+    save_snapshot,
+    verify_snapshot,
+)
+
+pytestmark = pytest.mark.robustness
+
+
+def make_snapshot(value: float = 1.0, epoch: int = 2) -> TrainingSnapshot:
+    rng = np.random.default_rng(0)
+    return TrainingSnapshot(
+        model_state={"tower.weight": np.full((3, 2), value), "tower.bias": np.zeros(2)},
+        optimizer_state={
+            "type": "Adam",
+            "lr": 0.001,
+            "step_count": 17,
+            "weight_decay": 1e-4,
+            "m": [np.ones((3, 2)), np.zeros(2)],
+            "v": [np.full((3, 2), 0.5), np.zeros(2)],
+        },
+        trainer_rng_state=rng.bit_generator.state,
+        module_rng_states=[np.random.default_rng(5).bit_generator.state],
+        history={"epoch_losses": [1.5, 1.2], "events": []},
+        epoch=epoch,
+        batch_in_epoch=3,
+        epoch_loss_sum=4.2,
+        n_batches_done=3,
+        best_metric=0.71,
+        stale=1,
+        metadata={"model_name": "dcmt"},
+    )
+
+
+class TestRoundTrip:
+    def test_everything_survives(self, tmp_path):
+        snapshot = make_snapshot()
+        path = save_snapshot(snapshot, tmp_path / "a.ckpt")
+        restored = load_snapshot(path)
+        for key in snapshot.model_state:
+            assert np.array_equal(restored.model_state[key], snapshot.model_state[key])
+        assert restored.optimizer_state["step_count"] == 17
+        assert restored.optimizer_state["lr"] == 0.001
+        for stored, original in zip(
+            restored.optimizer_state["m"], snapshot.optimizer_state["m"]
+        ):
+            assert np.array_equal(stored, original)
+        assert restored.trainer_rng_state == snapshot.trainer_rng_state
+        assert restored.module_rng_states == snapshot.module_rng_states
+        assert restored.history == snapshot.history
+        assert (restored.epoch, restored.batch_in_epoch) == (2, 3)
+        assert restored.epoch_loss_sum == snapshot.epoch_loss_sum
+        assert restored.best_metric == snapshot.best_metric
+        assert restored.metadata["model_name"] == "dcmt"
+
+    def test_rng_state_restores_identical_stream(self, tmp_path):
+        gen = np.random.default_rng(123)
+        gen.random(10)  # advance
+        snapshot = make_snapshot()
+        snapshot.trainer_rng_state = gen.bit_generator.state
+        expected = gen.random(5)  # consume AFTER capturing the state
+        restored = load_snapshot(save_snapshot(snapshot, tmp_path / "r.ckpt"))
+        fresh = np.random.default_rng(0)
+        fresh.bit_generator.state = restored.trainer_rng_state
+        assert np.array_equal(fresh.random(5), expected)
+
+    def test_negative_infinity_best_metric(self, tmp_path):
+        snapshot = make_snapshot()
+        snapshot.best_metric = float("-inf")
+        restored = load_snapshot(save_snapshot(snapshot, tmp_path / "i.ckpt"))
+        assert restored.best_metric == float("-inf")
+
+
+class TestCorruption:
+    def test_bit_flip_detected(self, tmp_path):
+        path = save_snapshot(make_snapshot(), tmp_path / "a.ckpt")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert not verify_snapshot(path)
+        with pytest.raises(CheckpointCorruptError, match="checksum"):
+            load_snapshot(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = save_snapshot(make_snapshot(), tmp_path / "a.ckpt")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 200])
+        with pytest.raises(CheckpointCorruptError):
+            load_snapshot(path)
+
+    def test_not_a_checkpoint(self, tmp_path):
+        path = tmp_path / "junk.ckpt"
+        path.write_bytes(b"hello world, definitely not a checkpoint")
+        with pytest.raises(CheckpointCorruptError, match="magic"):
+            load_snapshot(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointCorruptError):
+            load_snapshot(tmp_path / "nope.ckpt")
+
+    def test_no_stale_tmp_after_save(self, tmp_path):
+        save_snapshot(make_snapshot(), tmp_path / "a.ckpt")
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestManager:
+    def test_rotation_keeps_newest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for step in range(5):
+            manager.save(make_snapshot(value=float(step), epoch=step), step)
+        names = [p.name for p in manager.paths()]
+        assert names == ["ckpt-0000000003.ckpt", "ckpt-0000000004.ckpt"]
+
+    def test_latest_skips_corrupt(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=3)
+        manager.save(make_snapshot(value=1.0, epoch=1), 1)
+        newest = manager.save(make_snapshot(value=2.0, epoch=2), 2)
+        newest.write_bytes(b"corrupted beyond repair")
+        latest = manager.latest()
+        assert latest is not None and latest.name == "ckpt-0000000001.ckpt"
+        snapshot = manager.load_latest()
+        assert snapshot.epoch == 1
+        assert np.all(snapshot.model_state["tower.weight"] == 1.0)
+
+    def test_empty_store(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        assert manager.latest() is None
+        assert manager.load_latest() is None
+
+    def test_keep_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path, keep=0)

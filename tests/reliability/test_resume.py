@@ -1,0 +1,269 @@
+"""Checkpoint/resume and divergence-guard behaviour of the trainer.
+
+The two headline guarantees:
+
+* a run killed mid-epoch and resumed via ``fit(resume_from=...)``
+  produces bit-identical final parameters and history to an
+  uninterrupted run with the same seed;
+* an injected NaN batch trips the loss guard, rolls the model back,
+  halves the learning rate, and training still completes with finite
+  losses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.models import ModelConfig, build_model
+from repro.reliability import (
+    CheckpointCorruptError,
+    FaultInjector,
+    FaultSpec,
+    LossGuardConfig,
+    ReliabilityConfig,
+)
+from repro.training import TrainConfig, Trainer
+
+pytestmark = pytest.mark.robustness
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, test, _ = load_scenario(
+        "ae_es", n_users=40, n_items=50, n_train=2000, n_test=300
+    )
+    return train, test
+
+
+MODEL_CONFIG = ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+TRAIN_CONFIG = TrainConfig(epochs=4, batch_size=256, learning_rate=0.01, seed=7)
+
+
+def quiet_reliability(**overrides):
+    """Reliability config with the noisy epoch-end checks disabled."""
+    defaults = dict(guard=None, propensity_check_sample=0)
+    defaults.update(overrides)
+    return ReliabilityConfig(**defaults)
+
+
+class KilledMidRun(Exception):
+    pass
+
+
+def train_and_kill(world, checkpoint_dir, die_after_steps):
+    """Run training that 'crashes' after N optimizer steps."""
+    train, test = world
+    model = build_model("dcmt", train.schema, MODEL_CONFIG)
+    trainer = Trainer(
+        model,
+        TRAIN_CONFIG,
+        reliability=quiet_reliability(
+            checkpoint_dir=str(checkpoint_dir), checkpoint_every_n_batches=2
+        ),
+    )
+    original_step = trainer.optimizer.step
+    calls = {"n": 0}
+
+    def dying_step():
+        calls["n"] += 1
+        if calls["n"] > die_after_steps:
+            raise KilledMidRun
+        original_step()
+
+    trainer.optimizer.step = dying_step
+    with pytest.raises(KilledMidRun):
+        trainer.fit(train, validation=test)
+
+
+class TestBitExactResume:
+    def test_kill_mid_epoch_and_resume(self, world, tmp_path):
+        train, test = world
+        # Uninterrupted reference run.
+        reference = build_model("dcmt", train.schema, MODEL_CONFIG)
+        ref_history = Trainer(
+            reference, TRAIN_CONFIG, reliability=quiet_reliability()
+        ).fit(train, validation=test)
+
+        # Kill a checkpointing run mid-epoch 1 (8 batches per epoch).
+        train_and_kill(world, tmp_path, die_after_steps=13)
+        assert list(tmp_path.glob("ckpt-*.ckpt"))
+
+        # Resume in a FRESH process-equivalent: new model (different
+        # init seed -- everything must come from the snapshot), new
+        # trainer.
+        resumed = build_model(
+            "dcmt", train.schema, MODEL_CONFIG.with_overrides(seed=99)
+        )
+        trainer = Trainer(
+            resumed,
+            TRAIN_CONFIG,
+            reliability=quiet_reliability(
+                checkpoint_dir=str(tmp_path), checkpoint_every_n_batches=2
+            ),
+        )
+        history = trainer.fit(train, validation=test, resume_from=tmp_path)
+
+        ref_state = reference.state_dict()
+        resumed_state = resumed.state_dict()
+        for key in ref_state:
+            assert np.array_equal(ref_state[key], resumed_state[key]), key
+        assert history.to_dict() == ref_history.to_dict()
+
+    def test_resume_from_epoch_boundary(self, world, tmp_path):
+        train, test = world
+        reference = build_model("dcmt", train.schema, MODEL_CONFIG)
+        ref_history = Trainer(
+            reference, TRAIN_CONFIG, reliability=quiet_reliability()
+        ).fit(train, validation=test)
+
+        # Train only the first two epochs, checkpointing at boundaries.
+        short = build_model("dcmt", train.schema, MODEL_CONFIG)
+        Trainer(
+            short,
+            TRAIN_CONFIG.with_overrides(epochs=2),
+            reliability=quiet_reliability(checkpoint_dir=str(tmp_path)),
+        ).fit(train, validation=test)
+
+        resumed = build_model(
+            "dcmt", train.schema, MODEL_CONFIG.with_overrides(seed=55)
+        )
+        history = Trainer(
+            resumed,
+            TRAIN_CONFIG,
+            reliability=quiet_reliability(checkpoint_dir=str(tmp_path)),
+        ).fit(train, validation=test, resume_from=tmp_path)
+
+        ref_state = reference.state_dict()
+        for key, value in resumed.state_dict().items():
+            assert np.array_equal(ref_state[key], value), key
+        assert history.epoch_losses == ref_history.epoch_losses
+        assert history.validation_cvr_auc == ref_history.validation_cvr_auc
+
+    def test_resume_skips_corrupt_newest_checkpoint(self, world, tmp_path):
+        train, test = world
+        train_and_kill(world, tmp_path, die_after_steps=13)
+        newest = sorted(tmp_path.glob("ckpt-*.ckpt"))[-1]
+        newest.write_bytes(b"truncated garbage")
+
+        resumed = build_model("dcmt", train.schema, MODEL_CONFIG)
+        trainer = Trainer(
+            resumed, TRAIN_CONFIG, reliability=quiet_reliability()
+        )
+        history = trainer.fit(train, validation=test, resume_from=tmp_path)
+        assert history.n_epochs_run == TRAIN_CONFIG.epochs
+        assert all(np.isfinite(x) for x in history.epoch_losses)
+
+    def test_resume_from_empty_dir_raises(self, world, tmp_path):
+        train, test = world
+        model = build_model("dcmt", train.schema, MODEL_CONFIG)
+        trainer = Trainer(model, TRAIN_CONFIG)
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        with pytest.raises(CheckpointCorruptError, match="no valid checkpoint"):
+            trainer.fit(train, validation=test, resume_from=empty)
+
+    def test_early_stopping_state_survives_resume(self, world, tmp_path):
+        train, test = world
+        config = TRAIN_CONFIG.with_overrides(
+            epochs=5, early_stopping_patience=1
+        )
+        reference = build_model("dcmt", train.schema, MODEL_CONFIG)
+        ref_history = Trainer(
+            reference, config, reliability=quiet_reliability()
+        ).fit(train, validation=test)
+
+        short = build_model("dcmt", train.schema, MODEL_CONFIG)
+        Trainer(
+            short,
+            config.with_overrides(epochs=2),
+            reliability=quiet_reliability(checkpoint_dir=str(tmp_path)),
+        ).fit(train, validation=test)
+        resumed = build_model("dcmt", train.schema, MODEL_CONFIG)
+        history = Trainer(
+            resumed, config, reliability=quiet_reliability()
+        ).fit(train, validation=test, resume_from=tmp_path)
+        assert history.stopped_early == ref_history.stopped_early
+        assert history.epoch_losses == ref_history.epoch_losses
+
+
+class TestLossGuardIntegration:
+    def test_nan_batch_trips_guard_and_training_recovers(self, world):
+        train, test = world
+        injector = FaultInjector(
+            FaultSpec(nan_feature_rate=0.2, nan_fraction=0.5), seed=3
+        )
+        model = build_model("dcmt", train.schema, MODEL_CONFIG)
+        trainer = Trainer(
+            model,
+            TrainConfig(epochs=3, batch_size=256, learning_rate=0.01, seed=7),
+            reliability=ReliabilityConfig(
+                guard=LossGuardConfig(),
+                fault_injector=injector,
+                propensity_check_sample=0,
+            ),
+        )
+        history = trainer.fit(train)
+
+        trips = [e for e in history.events if e.reason == "non_finite_loss"]
+        assert trips, "NaN batches must trip the guard"
+        assert all(e.action == "rollback_lr_halved" for e in trips)
+        # LR was halved at least once per distinct trip chain.
+        assert trainer.optimizer.lr < TRAIN_CONFIG.learning_rate
+        # Training completed with finite losses and finite weights.
+        assert all(np.isfinite(x) for x in history.epoch_losses)
+        for p in model.parameters():
+            assert np.all(np.isfinite(p.data))
+
+    def test_spike_trips_guard(self, world):
+        """A label-poisoned burst registers as either a spike or stays
+        finite -- the guard must never let a NaN through to the weights."""
+        train, _ = world
+        from repro.reliability import LossGuard
+
+        guard = LossGuard(LossGuardConfig(min_history=4, z_threshold=3.0))
+        for value in [1.0, 1.01, 0.99, 1.02, 1.0]:
+            guard.observe(value)
+        assert guard.observe(10.0) == "loss_spike"
+
+    def test_clean_run_records_no_events(self, world):
+        train, test = world
+        model = build_model("dcmt", train.schema, MODEL_CONFIG)
+        trainer = Trainer(
+            model,
+            TrainConfig(epochs=2, batch_size=256, seed=7),
+            reliability=ReliabilityConfig(propensity_check_sample=0),
+        )
+        history = trainer.fit(train, validation=test)
+        guard_trips = [e for e in history.events if e.action != "warn"]
+        assert guard_trips == []
+
+
+class TestConfigValidation:
+    def test_train_config_validate(self):
+        with pytest.raises(ValueError, match="epochs"):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            TrainConfig(batch_size=0)
+        with pytest.raises(ValueError, match="learning_rate"):
+            TrainConfig(learning_rate=-1.0)
+        with pytest.raises(ValueError, match="weight_decay"):
+            TrainConfig(weight_decay=-0.1)
+        with pytest.raises(ValueError, match="patience"):
+            TrainConfig(early_stopping_patience=-1)
+
+    def test_trainer_revalidates(self, world):
+        """Trainer.__init__ calls config.validate() explicitly."""
+        train, _ = world
+        model = build_model("esmm", train.schema, MODEL_CONFIG)
+        config = TrainConfig(epochs=1)
+        object.__setattr__(config, "epochs", 0)  # bypass __post_init__
+        with pytest.raises(ValueError, match="epochs"):
+            Trainer(model, config)
+
+    def test_reliability_config_validation(self):
+        with pytest.raises(ValueError):
+            ReliabilityConfig(keep_checkpoints=0)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(checkpoint_every_n_batches=0)
+        with pytest.raises(ValueError):
+            ReliabilityConfig(propensity_collapse_threshold=0.0)

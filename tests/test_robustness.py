@@ -14,6 +14,8 @@ from repro.data.dataset import Batch
 from repro.data import load_scenario
 from repro.models import MODEL_REGISTRY, ModelConfig, build_model
 
+pytestmark = pytest.mark.robustness
+
 ALL_MODELS = sorted(MODEL_REGISTRY)
 
 
