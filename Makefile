@@ -1,6 +1,6 @@
 # Convenience targets for the DCMT reproduction.
 
-.PHONY: install test bench report quickstart lint-clean verify-robustness
+.PHONY: install test bench bench-all report quickstart lint-clean verify-robustness
 
 install:
 	pip install -e . || python setup.py develop
@@ -14,7 +14,14 @@ test:
 verify-robustness:
 	PYTHONPATH=src pytest -m robustness tests/
 
+# Throughput-only benches (dense/sparse training + inference); writes
+# BENCH_throughput.json at the repo root with measured rows/s, the
+# speedup over the pre-optimisation engine, and a profiled op breakdown.
 bench:
+	PYTHONPATH=src pytest benchmarks/test_throughput.py --benchmark-only -q
+
+# The full benchmark suite (paper tables/figures + throughput).
+bench-all:
 	pytest benchmarks/ --benchmark-only
 
 report:

@@ -45,6 +45,14 @@ def binary_cross_entropy(
     """
     probs = _as_tensor(probs)
     y = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=float)
+    logits = probs._logits
+    if logits is not None:
+        # ``probs`` is the direct output of ``ops.sigmoid``: fuse the
+        # sigmoid into a logits-space log-loss (one graph node instead
+        # of five, exact tail gradients, no clipping needed).  The
+        # already-computed probabilities are reused by the backward.
+        loss = ops.sigmoid_bce(logits, y, probs=probs.data)
+        return _reduce(loss, reduction)
     p = ops.clip(probs, EPS, 1.0 - EPS)
     loss = -(Tensor(y) * ops.log(p) + Tensor(1.0 - y) * ops.log(1.0 - p))
     return _reduce(loss, reduction)
@@ -60,13 +68,8 @@ def bce_with_logits(
     """
     logits = _as_tensor(logits)
     y = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=float)
-    z = logits
-    # loss = max(z,0) - z*y + log(1 + exp(-|z|))
-    max_part = ops.maximum(z, 0.0)
-    abs_z = ops.absolute(z)
-    log_part = ops.log(1.0 + ops.exp(-abs_z))
-    loss = max_part - z * Tensor(y) + log_part
-    return _reduce(loss, reduction)
+    # loss = max(z,0) - z*y + log(1 + exp(-|z|)), fused into one node.
+    return _reduce(ops.sigmoid_bce(logits, y), reduction)
 
 
 def weighted_mean(

@@ -5,30 +5,70 @@ objects and registers a backward closure.  Numerical-stability notes are
 given where relevant (``sigmoid``, ``log``, ``softmax``): the CVR
 estimators divide by predicted propensities, so stable primitives matter
 more here than in a generic framework.
+
+Three fused kernels collapse the hottest multi-node chains into single
+graph nodes:
+
+* :func:`affine` -- ``x @ W + b`` (the Linear layer forward) as one node.
+* :func:`sigmoid_bce` -- binary log-loss straight from logits, using the
+  stable ``max(z,0) - z*y + log1p(exp(-|z|))`` identity; its backward is
+  the two-op ``(sigmoid(z) - y) * g``.
+* :func:`take_rows` -- optionally emits a coalesced
+  :class:`~repro.autograd.sparse.SparseRowGrad` instead of scattering
+  into an ``O(vocab x dim)`` dense zero array.
+
+All public ops report call counts / wall time / output bytes to the
+active :class:`~repro.perf.profiler.OpProfiler`; when none is installed
+the per-call overhead is a single ``None`` check.
 """
 
 from __future__ import annotations
 
+import functools
+import time
 from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.autograd.sparse import SparseRowGrad, sparse_grads_enabled
 from repro.autograd.tensor import Tensor, _as_tensor, unbroadcast
+from repro.perf.profiler import active as _profiler_active
 
 ArrayLike = Union[Tensor, np.ndarray, float, int, list, tuple]
 
 
+def _instrumented(fn):
+    """Report call count, wall time and output bytes to the profiler."""
+    name = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        profiler = _profiler_active()
+        if profiler is None:
+            return fn(*args, **kwargs)
+        started = time.perf_counter()
+        out = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - started
+        data = getattr(out, "data", out)
+        profiler.record(name, elapsed, int(getattr(data, "nbytes", 0)))
+        return out
+
+    return wrapper
+
+
+@_instrumented
 def exp(x: ArrayLike) -> Tensor:
     """Elementwise exponential."""
     x = _as_tensor(x)
     out_data = np.exp(x.data)
 
     def backward(grad: np.ndarray, a=x, out=out_data) -> Iterable:
-        return ((a, grad * out),)
+        return ((a, grad * out, True),)
 
     return Tensor._make(out_data, (x,), backward)
 
 
+@_instrumented
 def log(x: ArrayLike) -> Tensor:
     """Elementwise natural logarithm.
 
@@ -40,60 +80,76 @@ def log(x: ArrayLike) -> Tensor:
     out_data = np.log(x.data)
 
     def backward(grad: np.ndarray, a=x) -> Iterable:
-        return ((a, grad / a.data),)
+        return ((a, grad / a.data, True),)
 
     return Tensor._make(out_data, (x,), backward)
 
 
+@_instrumented
 def sigmoid(x: ArrayLike) -> Tensor:
-    """Numerically stable logistic sigmoid."""
+    """Numerically stable logistic sigmoid.
+
+    Branch-free formulation: ``exp(-|x|)`` never overflows, and
+    ``where(x >= 0, t, 1 - t)`` with ``t = 1 / (1 + exp(-|x|))``
+    recovers both halves of the usual two-branch implementation in a
+    single pass (the old version made four passes over the data through
+    boolean fancy indexing).
+
+    The output remembers its pre-activation (``out._logits``) so that
+    :func:`~repro.autograd.functional.binary_cross_entropy` can fuse the
+    sigmoid into a logits-space log-loss.
+    """
     x = _as_tensor(x)
     data = x.data
-    out_data = np.empty_like(data, dtype=np.float64)
-    positive = data >= 0
-    out_data[positive] = 1.0 / (1.0 + np.exp(-data[positive]))
-    exp_x = np.exp(data[~positive])
-    out_data[~positive] = exp_x / (1.0 + exp_x)
+    e = np.exp(-np.abs(data))
+    t = 1.0 / (1.0 + e)
+    out_data = np.where(data >= 0, t, 1.0 - t)
 
     def backward(grad: np.ndarray, a=x, out=out_data) -> Iterable:
-        return ((a, grad * out * (1.0 - out)),)
+        return ((a, grad * out * (1.0 - out), True),)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    out._logits = x
+    return out
 
 
+@_instrumented
 def tanh(x: ArrayLike) -> Tensor:
     """Elementwise hyperbolic tangent."""
     x = _as_tensor(x)
     out_data = np.tanh(x.data)
 
     def backward(grad: np.ndarray, a=x, out=out_data) -> Iterable:
-        return ((a, grad * (1.0 - out**2)),)
+        return ((a, grad * (1.0 - out**2), True),)
 
     return Tensor._make(out_data, (x,), backward)
 
 
+@_instrumented
 def relu(x: ArrayLike) -> Tensor:
     """Elementwise rectified linear unit."""
     x = _as_tensor(x)
     out_data = np.maximum(x.data, 0.0)
 
     def backward(grad: np.ndarray, a=x) -> Iterable:
-        return ((a, grad * (a.data > 0)),)
+        return ((a, grad * (a.data > 0), True),)
 
     return Tensor._make(out_data, (x,), backward)
 
 
+@_instrumented
 def leaky_relu(x: ArrayLike, negative_slope: float = 0.01) -> Tensor:
     """Leaky ReLU with configurable negative slope."""
     x = _as_tensor(x)
     out_data = np.where(x.data > 0, x.data, negative_slope * x.data)
 
     def backward(grad: np.ndarray, a=x, slope=negative_slope) -> Iterable:
-        return ((a, grad * np.where(a.data > 0, 1.0, slope)),)
+        return ((a, grad * np.where(a.data > 0, 1.0, slope), True),)
 
     return Tensor._make(out_data, (x,), backward)
 
 
+@_instrumented
 def absolute(x: ArrayLike) -> Tensor:
     """Elementwise absolute value (subgradient 0 at the kink).
 
@@ -104,11 +160,12 @@ def absolute(x: ArrayLike) -> Tensor:
     out_data = np.abs(x.data)
 
     def backward(grad: np.ndarray, a=x) -> Iterable:
-        return ((a, grad * np.sign(a.data)),)
+        return ((a, grad * np.sign(a.data), True),)
 
     return Tensor._make(out_data, (x,), backward)
 
 
+@_instrumented
 def clip(x: ArrayLike, low: float, high: float) -> Tensor:
     """Clip values to ``[low, high]`` with straight-through-zero gradient.
 
@@ -121,11 +178,12 @@ def clip(x: ArrayLike, low: float, high: float) -> Tensor:
 
     def backward(grad: np.ndarray, a=x, lo=low, hi=high) -> Iterable:
         mask = (a.data >= lo) & (a.data <= hi)
-        return ((a, grad * mask),)
+        return ((a, grad * mask, True),)
 
     return Tensor._make(out_data, (x,), backward)
 
 
+@_instrumented
 def maximum(x: ArrayLike, y: ArrayLike) -> Tensor:
     """Elementwise maximum (gradient routed to the larger input)."""
     x, y = _as_tensor(x), _as_tensor(y)
@@ -134,13 +192,14 @@ def maximum(x: ArrayLike, y: ArrayLike) -> Tensor:
     def backward(grad: np.ndarray, a=x, b=y) -> Iterable:
         choose_a = a.data >= b.data
         return (
-            (a, unbroadcast(grad * choose_a, a.shape)),
-            (b, unbroadcast(grad * (~choose_a), b.shape)),
+            (a, unbroadcast(grad * choose_a, a.shape), True),
+            (b, unbroadcast(grad * (~choose_a), b.shape), True),
         )
 
     return Tensor._make(out_data, (x, y), backward)
 
 
+@_instrumented
 def where(condition: ArrayLike, x: ArrayLike, y: ArrayLike) -> Tensor:
     """Differentiable ``numpy.where`` (condition carries no gradient)."""
     cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
@@ -149,13 +208,88 @@ def where(condition: ArrayLike, x: ArrayLike, y: ArrayLike) -> Tensor:
 
     def backward(grad: np.ndarray, a=x, b=y, c=cond) -> Iterable:
         return (
-            (a, unbroadcast(grad * c, a.shape)),
-            (b, unbroadcast(grad * (~np.asarray(c, dtype=bool)), b.shape)),
+            (a, unbroadcast(grad * c, a.shape), True),
+            (b, unbroadcast(grad * (~np.asarray(c, dtype=bool)), b.shape), True),
         )
 
     return Tensor._make(out_data, (x, y), backward)
 
 
+@_instrumented
+def affine(x: ArrayLike, weight: ArrayLike, bias: Optional[ArrayLike] = None) -> Tensor:
+    """Fused ``x @ weight + bias`` as a single graph node.
+
+    The Linear-layer forward.  Compared to the unfused ``matmul`` +
+    ``add`` chain this saves one intermediate tensor, one backward
+    closure and one gradient hand-off per layer per step; the gradients
+    (``g @ W.T``, ``x.T @ g``, ``g.sum(0)``) are identical.  Inputs must
+    be 2-D (``bias`` 1-D); use ``@`` for batched matmul.
+    """
+    x, weight = _as_tensor(x), _as_tensor(weight)
+    if x.ndim != 2 or weight.ndim != 2:
+        raise ValueError(
+            f"affine expects 2-D inputs, got x{x.shape} @ weight{weight.shape}"
+        )
+    out_data = x.data @ weight.data
+    if bias is None:
+        parents = (x, weight)
+        b = None
+    else:
+        b = _as_tensor(bias)
+        if b.ndim != 1:
+            raise ValueError(f"affine bias must be 1-D, got shape {b.shape}")
+        out_data += b.data
+        parents = (x, weight, b)
+
+    def backward(grad: np.ndarray, a=x, w=weight, bb=b) -> Iterable:
+        entries = []
+        if a.requires_grad:
+            entries.append((a, grad @ w.data.T, True))
+        if w.requires_grad:
+            entries.append((w, a.data.T @ grad, True))
+        if bb is not None and bb.requires_grad:
+            entries.append((bb, grad.sum(axis=0), True))
+        return entries
+
+    return Tensor._make(out_data, parents, backward)
+
+
+@_instrumented
+def sigmoid_bce(
+    logits: ArrayLike,
+    targets: ArrayLike,
+    probs: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Per-sample binary log-loss fused with the sigmoid, from logits.
+
+    Forward uses the overflow-free identity
+    ``max(z, 0) - z*y + log1p(exp(-|z|))``; backward is the closed form
+    ``(sigmoid(z) - y) * g``.  This replaces the five-node
+    sigmoid -> clip -> log chain of the probability-space loss (and is
+    also stabler: no clipping needed, gradients stay exact in the
+    saturated tails).
+
+    ``probs`` optionally passes in an already-computed ``sigmoid(z)``
+    array (the fusion path in ``binary_cross_entropy`` reuses the
+    forward sigmoid output) so backward does not recompute it.
+    Returns the unreduced per-sample loss.
+    """
+    logits = _as_tensor(logits)
+    z = logits.data
+    y = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=float)
+    out_data = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
+
+    def backward(grad: np.ndarray, a=logits, yy=y, s=probs) -> Iterable:
+        if s is None:
+            e = np.exp(-np.abs(a.data))
+            t = 1.0 / (1.0 + e)
+            s = np.where(a.data >= 0, t, 1.0 - t)
+        return ((a, (s - yy) * grad, True),)
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+@_instrumented
 def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis``."""
     ts = [_as_tensor(t) for t in tensors]
@@ -174,6 +308,7 @@ def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
     return Tensor._make(out_data, tuple(ts), backward)
 
 
+@_instrumented
 def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis."""
     ts = [_as_tensor(t) for t in tensors]
@@ -181,17 +316,23 @@ def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
 
     def backward(grad: np.ndarray, parts=ts, ax=axis) -> Iterable:
         return [
-            (part, np.take(grad, i, axis=ax)) for i, part in enumerate(parts)
+            (part, np.take(grad, i, axis=ax), True) for i, part in enumerate(parts)
         ]
 
     return Tensor._make(out_data, tuple(ts), backward)
 
 
+@_instrumented
 def take_rows(table: ArrayLike, indices: np.ndarray) -> Tensor:
     """Gather rows of a 2-D ``table`` by integer ``indices``.
 
-    This is the embedding-lookup primitive.  The backward pass scatters
-    gradients with ``np.add.at`` so duplicate indices accumulate.
+    This is the embedding-lookup primitive.  By default the backward
+    pass scatters gradients into a dense ``zeros_like(table)`` with
+    ``np.add.at`` (duplicate indices accumulate).  When sparse gradients
+    are enabled (:func:`~repro.autograd.sparse.set_sparse_grads`) at the
+    time the op is *recorded*, the backward instead emits a coalesced
+    :class:`~repro.autograd.sparse.SparseRowGrad` -- bit-identical row
+    sums without ever materialising the ``O(vocab x dim)`` array.
     """
     table = _as_tensor(table)
     idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
@@ -199,14 +340,22 @@ def take_rows(table: ArrayLike, indices: np.ndarray) -> Tensor:
         raise TypeError(f"indices must be integers, got {idx.dtype}")
     out_data = table.data[idx]
 
-    def backward(grad: np.ndarray, t=table, i=idx) -> Iterable:
-        full = np.zeros_like(t.data)
-        np.add.at(full, i, grad)
-        return ((t, full),)
+    if sparse_grads_enabled():
+
+        def backward(grad: np.ndarray, t=table, i=idx) -> Iterable:
+            return ((t, SparseRowGrad.from_lookup(i, grad, t.data.shape), True),)
+
+    else:
+
+        def backward(grad: np.ndarray, t=table, i=idx) -> Iterable:
+            full = np.zeros_like(t.data)
+            np.add.at(full, i, grad)
+            return ((t, full, True),)
 
     return Tensor._make(out_data, (table,), backward)
 
 
+@_instrumented
 def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis`` (used by MMoE/PLE gates)."""
     x = _as_tensor(x)
@@ -216,7 +365,7 @@ def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
 
     def backward(grad: np.ndarray, a=x, out=out_data, ax=axis) -> Iterable:
         dot = (grad * out).sum(axis=ax, keepdims=True)
-        return ((a, out * (grad - dot)),)
+        return ((a, out * (grad - dot), True),)
 
     return Tensor._make(out_data, (x,), backward)
 
@@ -233,6 +382,7 @@ def dropout_mask(
     return keep / (1.0 - rate)
 
 
+@_instrumented
 def squeeze(x: ArrayLike, axis: Optional[int] = None) -> Tensor:
     """Remove a singleton axis (all singleton axes when ``axis`` is None)."""
     x = _as_tensor(x)

@@ -3,20 +3,40 @@
 The design follows the classic define-by-run pattern: every operation on
 ``Tensor`` objects records its inputs and a closure that propagates the
 output gradient to the input gradients.  Calling :meth:`Tensor.backward`
-on a scalar output walks the recorded graph in reverse topological order
-and accumulates ``.grad`` on every tensor with ``requires_grad=True``.
+on a scalar output walks the recorded graph in reverse topological order.
+
+Two engine-level properties keep the hot loop lean:
+
+* **Leaf-only gradient accumulation.**  ``.grad`` is materialised only
+  on *leaves* (tensors with no recorded backward closure -- parameters
+  and user inputs).  Intermediates pass their gradients through a
+  scratch dict without ever copying into ``.grad``; call
+  :meth:`Tensor.retain_grad` on an intermediate when a diagnostic needs
+  its gradient.
+* **Gradient buffer ownership.**  Backward closures annotate each
+  emitted gradient with an ownership flag: freshly allocated arrays are
+  handed over without the defensive copy the engine otherwise makes on
+  first write, while views (reshapes, concat slices, pass-through
+  gradients) keep the copy-on-write behaviour.
 
 Broadcasting is fully supported; gradients flowing back through a
-broadcast are summed over the broadcast axes (see
-:func:`unbroadcast`).
+broadcast are summed over the broadcast axes (see :func:`unbroadcast`).
+Embedding-style gather ops may emit
+:class:`~repro.autograd.sparse.SparseRowGrad` objects instead of dense
+arrays; the engine merges sparse and dense contributions transparently
+and a leaf's ``.grad`` is then sparse (optimizers dispatch on the type).
 """
 
 from __future__ import annotations
 
 import contextlib
+import time
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.autograd.sparse import SparseRowGrad
+from repro.perf.profiler import active as _profiler_active
 
 ArrayLike = Union["Tensor", np.ndarray, float, int, list, tuple]
 
@@ -81,7 +101,16 @@ class Tensor:
         Optional human-readable name used in error messages.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_retains_grad",
+        "_logits",
+        "name",
+    )
 
     def __init__(
         self,
@@ -95,17 +124,19 @@ class Tensor:
         array = np.asarray(data)
         if dtype is not None:
             array = array.astype(dtype)
-        elif not np.issubdtype(array.dtype, np.floating) and not np.issubdtype(
+        elif array.dtype != np.float64 and not np.issubdtype(
             array.dtype, np.integer
         ):
-            array = array.astype(np.float64)
-        elif np.issubdtype(array.dtype, np.floating) and array.dtype != np.float64:
+            # float64 and integer dtypes pass through; everything else
+            # (float32, bool, object...) is promoted to float64.
             array = array.astype(np.float64)
         self.data: np.ndarray = array
         self.grad: Optional[np.ndarray] = None
         self.requires_grad: bool = bool(requires_grad)
-        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._backward: Optional[Callable[[np.ndarray], Iterable]] = None
         self._parents: Tuple["Tensor", ...] = ()
+        self._retains_grad: bool = False
+        self._logits: Optional["Tensor"] = None
         self.name = name
         if self.requires_grad and np.issubdtype(array.dtype, np.integer):
             raise TypeError("integer tensors cannot require gradients")
@@ -152,24 +183,78 @@ class Tensor:
     def _make(
         data: np.ndarray,
         parents: Sequence["Tensor"],
-        backward: Callable[[np.ndarray], None],
+        backward: Callable[[np.ndarray], Iterable],
     ) -> "Tensor":
-        """Create an output tensor, wiring the backward closure if needed."""
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires)
-        if requires:
-            out._parents = tuple(parents)
-            out._backward = backward
+        """Create an output tensor, wiring the backward closure if needed.
+
+        Fast path used by every op: ``data`` is trusted to already be a
+        numpy array of the right dtype, skipping the conversion and
+        dtype-sniffing work of ``__init__``.  Only parents that require
+        gradients are recorded -- constants never propagate, so keeping
+        them out of the graph shrinks the backward traversal.
+        """
+        if not isinstance(data, np.ndarray):
+            data = np.asarray(data)
+        out = Tensor.__new__(Tensor)
+        out.data = data
+        out.grad = None
+        out._retains_grad = False
+        out._logits = None
+        out.name = None
+        if _GRAD_ENABLED:
+            grad_parents = tuple(p for p in parents if p.requires_grad)
+            if grad_parents:
+                out.requires_grad = True
+                out._parents = grad_parents
+                out._backward = backward
+                return out
+        out.requires_grad = False
+        out._parents = ()
+        out._backward = None
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into ``self.grad`` (allocating on first use)."""
+    def _accumulate(self, grad, owned: bool = False) -> None:
+        """Add ``grad`` into ``self.grad``.
+
+        ``owned=True`` asserts the caller hands over a freshly allocated
+        buffer that nothing else references, letting the first write
+        adopt it instead of copying.  ``grad`` may be a dense array or a
+        :class:`SparseRowGrad`; mixed accumulation densifies.
+        """
         if not self.requires_grad:
             return
+        if isinstance(grad, SparseRowGrad):
+            if self.grad is None:
+                self.grad = grad if owned else SparseRowGrad(
+                    grad.indices, grad.values.copy(), grad.shape
+                )
+            elif isinstance(self.grad, SparseRowGrad):
+                self.grad = self.grad.merge(grad)
+            else:
+                grad.add_to(self.grad)
+            return
         if self.grad is None:
-            self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+            if owned and grad.dtype == self.data.dtype:
+                self.grad = grad
+            else:
+                self.grad = np.array(grad, dtype=self.data.dtype, copy=True)
+        elif isinstance(self.grad, SparseRowGrad):
+            dense = self.grad.to_dense()
+            dense += grad
+            self.grad = dense
         else:
             self.grad += grad
+
+    def retain_grad(self) -> "Tensor":
+        """Request ``.grad`` on this intermediate during backward.
+
+        Leaves always receive ``.grad``; intermediates are skipped by
+        default (their gradients only transit the scratch space of the
+        backward pass).  Diagnostics that need an intermediate gradient
+        opt in with this method.  Returns ``self`` for chaining.
+        """
+        self._retains_grad = True
+        return self
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -177,7 +262,13 @@ class Tensor:
         ``grad`` defaults to ones (the usual convention: the tensor must
         then be a scalar loss, otherwise the implicit seed of ones is
         almost never what the caller wants, so we require scalars).
+
+        Gradients are accumulated into ``.grad`` only on leaves (and on
+        intermediates that called :meth:`retain_grad`); everything else
+        flows through temporary buffers that are freed as the walk
+        proceeds.
         """
+        seed_owned = False
         if grad is None:
             if self.data.size != 1:
                 raise ValueError(
@@ -185,6 +276,7 @@ class Tensor:
                     f"tensor, got shape {self.shape}"
                 )
             grad = np.ones_like(self.data)
+            seed_owned = True
         else:
             grad = np.asarray(grad, dtype=self.data.dtype)
             if grad.shape != self.data.shape:
@@ -193,23 +285,42 @@ class Tensor:
                     f"{self.shape}"
                 )
 
+        profiler = _profiler_active()
+        started = time.perf_counter() if profiler is not None else 0.0
+
         topo = _topological_order(self)
-        grads = {id(self): grad}
-        self._accumulate(grad)
+        # id(node) -> [grad, owned]; popped as each node is visited, so
+        # scratch buffers die as soon as their consumers have run.
+        grads = {id(self): [grad, seed_owned]}
         for node in topo:
-            node_grad = grads.pop(id(node), None)
-            if node_grad is None or node._backward is None:
+            entry = grads.pop(id(node), None)
+            if entry is None:
                 continue
-            parent_grads = _collect_parent_grads(node, node_grad)
-            for parent, pgrad in parent_grads:
-                if not parent.requires_grad:
-                    continue
-                parent._accumulate(pgrad)
-                key = id(parent)
-                if key in grads:
-                    grads[key] = grads[key] + pgrad
+            node_grad, node_owned = entry
+            backward_fn = node._backward
+            if backward_fn is None:
+                node._accumulate(node_grad, owned=node_owned)
+                continue
+            if node._retains_grad:
+                # Copy: the buffer is still consumed by the closure below.
+                node._accumulate(node_grad, owned=False)
+            for item in backward_fn(node_grad):
+                if len(item) == 3:
+                    parent, pgrad, powned = item
                 else:
-                    grads[key] = pgrad
+                    parent, pgrad = item
+                    powned = False
+                if not parent.requires_grad or pgrad is None:
+                    continue
+                key = id(parent)
+                existing = grads.get(key)
+                if existing is None:
+                    grads[key] = [pgrad, powned]
+                else:
+                    _merge_grad(existing, pgrad)
+
+        if profiler is not None:
+            profiler.record("backward", time.perf_counter() - started)
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -227,10 +338,14 @@ class Tensor:
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray, a=self, b=other) -> Iterable:
-            return (
-                (a, unbroadcast(grad, a.shape)),
-                (b, unbroadcast(grad, b.shape)),
-            )
+            entries = []
+            if a.requires_grad:
+                ga = unbroadcast(grad, a.data.shape)
+                entries.append((a, ga, ga is not grad))
+            if b.requires_grad:
+                gb = unbroadcast(grad, b.data.shape)
+                entries.append((b, gb, gb is not grad))
+            return entries
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -238,7 +353,7 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray, a=self) -> Iterable:
-            return ((a, -grad),)
+            return ((a, -grad, True),)
 
         return Tensor._make(-self.data, (self,), backward)
 
@@ -253,10 +368,12 @@ class Tensor:
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray, a=self, b=other) -> Iterable:
-            return (
-                (a, unbroadcast(grad * b.data, a.shape)),
-                (b, unbroadcast(grad * a.data, b.shape)),
-            )
+            entries = []
+            if a.requires_grad:
+                entries.append((a, unbroadcast(grad * b.data, a.data.shape), True))
+            if b.requires_grad:
+                entries.append((b, unbroadcast(grad * a.data, b.data.shape), True))
+            return entries
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -267,10 +384,14 @@ class Tensor:
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray, a=self, b=other) -> Iterable:
-            return (
-                (a, unbroadcast(grad / b.data, a.shape)),
-                (b, unbroadcast(-grad * a.data / (b.data**2), b.shape)),
-            )
+            entries = []
+            if a.requires_grad:
+                entries.append((a, unbroadcast(grad / b.data, a.data.shape), True))
+            if b.requires_grad:
+                entries.append(
+                    (b, unbroadcast(-grad * a.data / (b.data**2), b.data.shape), True)
+                )
+            return entries
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -283,7 +404,7 @@ class Tensor:
         out_data = self.data**exponent
 
         def backward(grad: np.ndarray, a=self, n=exponent) -> Iterable:
-            return ((a, grad * n * a.data ** (n - 1)),)
+            return ((a, grad * n * a.data ** (n - 1), True),)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -292,18 +413,21 @@ class Tensor:
         out_data = self.data @ other.data
 
         def backward(grad: np.ndarray, a=self, b=other) -> Iterable:
+            entries = []
             if a.ndim == 2 and b.ndim == 2:
-                return (
-                    (a, grad @ b.data.T),
-                    (b, a.data.T @ grad),
-                )
+                if a.requires_grad:
+                    entries.append((a, grad @ b.data.T, True))
+                if b.requires_grad:
+                    entries.append((b, a.data.T @ grad, True))
+                return entries
             # General case via swapaxes; covers batched matmul.
-            grad_a = grad @ np.swapaxes(b.data, -1, -2)
-            grad_b = np.swapaxes(a.data, -1, -2) @ grad
-            return (
-                (a, unbroadcast(grad_a, a.shape)),
-                (b, unbroadcast(grad_b, b.shape)),
-            )
+            if a.requires_grad:
+                grad_a = grad @ np.swapaxes(b.data, -1, -2)
+                entries.append((a, unbroadcast(grad_a, a.data.shape), True))
+            if b.requires_grad:
+                grad_b = np.swapaxes(a.data, -1, -2) @ grad
+                entries.append((b, unbroadcast(grad_b, b.data.shape), True))
+            return entries
 
         return Tensor._make(out_data, (self, other), backward)
 
@@ -316,7 +440,8 @@ class Tensor:
         out_data = self.data.reshape(shape)
 
         def backward(grad: np.ndarray, a=self) -> Iterable:
-            return ((a, grad.reshape(a.shape)),)
+            # Usually a view of the incoming gradient: not owned.
+            return ((a, grad.reshape(a.data.shape)),)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -340,7 +465,7 @@ class Tensor:
         def backward(grad: np.ndarray, a=self, idx=index) -> Iterable:
             full = np.zeros_like(a.data)
             np.add.at(full, idx, grad)
-            return ((a, full),)
+            return ((a, full, True),)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -354,7 +479,9 @@ class Tensor:
             g = grad
             if ax is not None and not kd:
                 g = np.expand_dims(g, ax)
-            return ((a, np.broadcast_to(g, a.shape).copy()),)
+            # Read-only broadcast view; the ownership protocol keeps the
+            # engine from ever writing into it.
+            return ((a, np.broadcast_to(g, a.data.shape)),)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -393,12 +520,31 @@ def _as_array(value: ArrayLike) -> np.ndarray:
     return value.data if isinstance(value, Tensor) else np.asarray(value)
 
 
-def _collect_parent_grads(
-    node: Tensor, grad: np.ndarray
-) -> List[Tuple[Tensor, np.ndarray]]:
-    """Invoke a node's backward closure and normalise its output."""
-    result = node._backward(grad)
-    return [(parent, pgrad) for parent, pgrad in result]
+def _merge_grad(entry: list, new) -> None:
+    """Sum ``new`` into a scratch-space gradient ``[grad, owned]`` entry."""
+    grad, owned = entry
+    new_sparse = isinstance(new, SparseRowGrad)
+    if isinstance(grad, SparseRowGrad):
+        if new_sparse:
+            entry[0] = grad.merge(new)
+        else:
+            dense = np.array(new, dtype=new.dtype, copy=True)
+            grad.add_to(dense)
+            entry[0] = dense
+        entry[1] = True
+        return
+    if new_sparse:
+        if not owned:
+            grad = np.array(grad, copy=True)
+            entry[0] = grad
+        new.add_to(grad)
+        entry[1] = True
+        return
+    if owned:
+        grad += new
+    else:
+        entry[0] = grad + new
+        entry[1] = True
 
 
 def _topological_order(root: Tensor) -> List[Tensor]:

@@ -7,12 +7,38 @@ dense vector; per-feature tables are concatenated downstream (see
 
 from __future__ import annotations
 
+import contextlib
+from typing import Iterator
+
 import numpy as np
 
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.nn import init
 from repro.nn.module import Module, Parameter
+
+_TRUSTED_INDICES = False
+
+
+@contextlib.contextmanager
+def trusted_indices() -> Iterator[None]:
+    """Skip embedding bounds checks for pre-validated index arrays.
+
+    The trainer wraps its inner loop in this context after the dataset's
+    schema validation has already proven every sparse id in range
+    (``schema.validate_batch_arrays``); re-checking per lookup per batch
+    is pure overhead.  Note numpy's fancy indexing still raises on
+    positive out-of-range ids -- what this skips is the defensive
+    pre-scan (and with it, rejection of negative ids, which numpy would
+    silently wrap).
+    """
+    global _TRUSTED_INDICES
+    previous = _TRUSTED_INDICES
+    _TRUSTED_INDICES = True
+    try:
+        yield
+    finally:
+        _TRUSTED_INDICES = previous
 
 
 class Embedding(Module):
@@ -52,8 +78,15 @@ class Embedding(Module):
     def forward(self, indices: np.ndarray) -> Tensor:
         """Gather embedding rows for integer ``indices`` of any shape."""
         idx = np.asarray(indices)
-        if idx.min(initial=0) < 0 or (idx.size and idx.max() >= self.num_embeddings):
+        if not _TRUSTED_INDICES and idx.size and self._out_of_range(idx):
             raise IndexError(
                 f"index out of range for vocabulary of size {self.num_embeddings}"
             )
         return ops.take_rows(self.weight, idx)
+
+    def _out_of_range(self, idx: np.ndarray) -> bool:
+        if idx.dtype == np.int64 and idx.flags.c_contiguous:
+            # Single pass: reinterpreting as uint64 maps negatives to
+            # huge values, so one comparison catches both bounds.
+            return bool((idx.view(np.uint64) >= self.num_embeddings).any())
+        return bool(idx.min() < 0 or idx.max() >= self.num_embeddings)

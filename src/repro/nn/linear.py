@@ -11,6 +11,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.nn import init
 from repro.nn.module import Module, Parameter
@@ -58,6 +59,8 @@ class Linear(Module):
         )
 
     def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 2:
+            return ops.affine(x, self.weight, self.bias)
         out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias

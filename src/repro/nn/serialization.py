@@ -19,12 +19,14 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 import numpy as np
 
 from repro.nn.module import Module
-from repro.optim.optimizer import Optimizer
+
+if TYPE_CHECKING:  # avoid the repro.optim <-> repro.nn import cycle
+    from repro.optim.optimizer import Optimizer
 
 _META_KEY = "__metadata__"
 FORMAT_VERSION = 1

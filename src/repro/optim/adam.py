@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable
+from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.autograd.sparse import SparseRowGrad
 from repro.nn.module import Parameter
-from repro.optim.optimizer import Optimizer
+from repro.optim.optimizer import (
+    Optimizer,
+    _active_rows_from_moments,
+    _instrument_step,
+)
 
 
 class Adam(Optimizer):
@@ -16,6 +21,15 @@ class Adam(Optimizer):
     Defaults match the paper's setting: ``lr=0.001`` (Section IV-A2).
     ``weight_decay`` implements the Eq. (14) L2 regularizer
     (``lambda_2``, paper default 1e-4).
+
+    Sparse row-gradients (from embedding lookups) take a row-sliced
+    update path that is **bit-exact** to the dense update: a row whose
+    moments are all zero and which receives no gradient is an exact
+    no-op under dense Adam (``m_hat = v_hat = 0`` => update ``0.0``), so
+    only the *active* rows -- rows ever touched by a gradient -- need
+    processing.  The active set is tracked per parameter as a boolean
+    mask and rebuilt lazily from the moment buffers after a state
+    restore, so the ``state_dict`` format is unchanged.
     """
 
     def __init__(
@@ -38,6 +52,9 @@ class Adam(Optimizer):
         self._step_count = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Lazily-built per-parameter active-row masks (None = rebuild
+        # from the moment buffers on next sparse update).
+        self._active: List[Optional[np.ndarray]] = [None] * len(self.params)
 
     def state_dict(self) -> Dict[str, Any]:
         state = super().state_dict()
@@ -61,14 +78,20 @@ class Adam(Optimizer):
         self._step_count = int(state["step_count"])
         self._load_moments(state["m"], self._m)
         self._load_moments(state["v"], self._v)
+        self._active = [None] * len(self.params)
 
+    @_instrument_step
     def step(self) -> None:
         self._step_count += 1
         t = self._step_count
         bias1 = 1.0 - self.beta1**t
         bias2 = 1.0 - self.beta2**t
-        for p, m, v in zip(self.params, self._m, self._v):
+        for i, p in enumerate(self.params):
             grad = self._grad(p)
+            if isinstance(grad, SparseRowGrad):
+                self._sparse_update(i, p, grad, bias1, bias2)
+                continue
+            m, v = self._m[i], self._v[i]
             m *= self.beta1
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
@@ -76,3 +99,45 @@ class Adam(Optimizer):
             m_hat = m / bias1
             v_hat = v / bias2
             p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _sparse_update(
+        self,
+        i: int,
+        p: Parameter,
+        grad: SparseRowGrad,
+        bias1: float,
+        bias2: float,
+    ) -> None:
+        m, v = self._m[i], self._v[i]
+        mask = self._active[i]
+        if mask is None:
+            mask = self._active[i] = _active_rows_from_moments((m, v))
+        mask[grad.indices] = True
+        rows = np.nonzero(mask)[0]
+        if 2 * rows.size > mask.size:
+            # Mostly-active table: the gather/scatter of the sliced path
+            # costs more than it saves; run the plain vectorised update
+            # on a densified gradient (identical arithmetic).
+            self._dense_rows_update(p, m, v, grad.to_dense(), bias1, bias2)
+            return
+        g = np.zeros((rows.size,) + p.data.shape[1:], dtype=p.data.dtype)
+        g[np.searchsorted(rows, grad.indices)] = grad.values
+        mr, vr = m[rows], v[rows]
+        mr *= self.beta1
+        mr += (1.0 - self.beta1) * g
+        vr *= self.beta2
+        vr += (1.0 - self.beta2) * g**2
+        m[rows] = mr
+        v[rows] = vr
+        m_hat = mr / bias1
+        v_hat = vr / bias2
+        p.data[rows] -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _dense_rows_update(self, p, m, v, grad, bias1, bias2) -> None:
+        m *= self.beta1
+        m += (1.0 - self.beta1) * grad
+        v *= self.beta2
+        v += (1.0 - self.beta2) * grad**2
+        m_hat = m / bias1
+        v_hat = v / bias2
+        p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,13 @@
+"""Performance tooling: the op-level profiler for the numpy engine.
+
+Public surface:
+
+* :class:`~repro.perf.profiler.OpProfiler` -- context manager recording
+  per-op call counts, wall time and output-allocation bytes.
+* :func:`~repro.perf.profiler.active` -- the currently installed
+  profiler (used by the engine's instrumentation hooks).
+"""
+
+from repro.perf.profiler import OpProfiler, OpStat, active
+
+__all__ = ["OpProfiler", "OpStat", "active"]

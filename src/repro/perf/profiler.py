@@ -1,0 +1,129 @@
+"""Op-level profiler for the numpy autograd engine.
+
+Every primitive in :mod:`repro.autograd.ops` reports into the active
+:class:`OpProfiler` (when one is installed): call count, wall time, and
+output-allocation bytes.  The engine also reports two pseudo-ops --
+``backward`` (the whole reverse pass) and ``optimizer.step`` -- so a
+profile localises time across the forward graph, the backward sweep and
+the parameter update without any external tooling.
+
+Overhead when no profiler is active is a single module-global ``None``
+check per op call; profiles are therefore safe to leave compiled in.
+
+Usage::
+
+    from repro.perf import OpProfiler
+
+    with OpProfiler() as prof:
+        loss = model.loss(batch)
+        loss.backward()
+    print(prof.report())
+
+The trainer integrates this through ``TrainConfig.profile_ops``: the fit
+loop runs under a profiler whose summary lands in
+``TrainingHistory.op_profile`` and in ``BENCH_throughput.json``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+_ACTIVE: Optional["OpProfiler"] = None
+
+
+def active() -> Optional["OpProfiler"]:
+    """The currently installed profiler, or ``None``."""
+    return _ACTIVE
+
+
+@dataclass
+class OpStat:
+    """Accumulated statistics for one op."""
+
+    calls: int = 0
+    seconds: float = 0.0
+    #: Sum of output-array bytes allocated across all calls.
+    bytes_total: int = 0
+    #: Largest single output allocation (peak temporary pressure proxy).
+    bytes_peak: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "calls": self.calls,
+            "seconds": self.seconds,
+            "bytes_total": self.bytes_total,
+            "bytes_peak": self.bytes_peak,
+        }
+
+
+class OpProfiler:
+    """Records per-op statistics while installed as the active profiler.
+
+    Re-entrant: nesting a second profiler shadows (and later restores)
+    the outer one, so a profiled trainer can run inside a profiled
+    benchmark without double counting.
+    """
+
+    def __init__(self) -> None:
+        self.stats: Dict[str, OpStat] = {}
+        self.wall_seconds: float = 0.0
+        self._entered_at: Optional[float] = None
+        self._previous: Optional[OpProfiler] = None
+
+    # ------------------------------------------------------------------
+    def record(self, name: str, seconds: float, nbytes: int = 0) -> None:
+        stat = self.stats.get(name)
+        if stat is None:
+            stat = self.stats[name] = OpStat()
+        stat.calls += 1
+        stat.seconds += seconds
+        stat.bytes_total += nbytes
+        if nbytes > stat.bytes_peak:
+            stat.bytes_peak = nbytes
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "OpProfiler":
+        global _ACTIVE
+        self._previous = _ACTIVE
+        self._entered_at = time.perf_counter()
+        _ACTIVE = self
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        global _ACTIVE
+        if self._entered_at is not None:
+            self.wall_seconds += time.perf_counter() - self._entered_at
+            self._entered_at = None
+        _ACTIVE = self._previous
+        self._previous = None
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """JSON-serialisable profile, ops sorted by total time."""
+        ordered = sorted(
+            self.stats.items(), key=lambda kv: kv[1].seconds, reverse=True
+        )
+        return {
+            "wall_seconds": self.wall_seconds,
+            "ops": {name: stat.to_dict() for name, stat in ordered},
+        }
+
+    def report(self, top: int = 12) -> str:
+        """Human-readable table of the ``top`` most expensive ops."""
+        ordered = sorted(
+            self.stats.items(), key=lambda kv: kv[1].seconds, reverse=True
+        )
+        lines = [
+            f"{'op':<16} {'calls':>8} {'seconds':>9} {'ms/call':>8} "
+            f"{'peak KiB':>9}"
+        ]
+        for name, stat in ordered[:top]:
+            per_call = 1000.0 * stat.seconds / max(stat.calls, 1)
+            lines.append(
+                f"{name:<16} {stat.calls:>8} {stat.seconds:>9.4f} "
+                f"{per_call:>8.3f} {stat.bytes_peak / 1024:>9.1f}"
+            )
+        lines.append(f"total wall: {self.wall_seconds:.4f}s")
+        return "\n".join(lines)

@@ -26,16 +26,20 @@
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.autograd.sparse import sparse_grads
 from repro.data.batching import batch_iterator
 from repro.data.dataset import InteractionDataset
 from repro.models.base import MultiTaskModel
+from repro.nn.embedding import trusted_indices
 from repro.optim import Adam, clip_global_norm
+from repro.perf import OpProfiler
 from repro.reliability.checkpoint import (
     CheckpointManager,
     TrainingSnapshot,
@@ -63,6 +67,9 @@ class TrainingHistory:
     stopped_early: bool = False
     #: Guard interventions and structured warnings, in occurrence order.
     events: List[GuardEvent] = field(default_factory=list)
+    #: Op-level profile of the fit loop (``OpProfiler.summary()``)
+    #: recorded when ``TrainConfig.profile_ops`` is set.
+    op_profile: Optional[Dict[str, Any]] = None
 
     @property
     def n_epochs_run(self) -> int:
@@ -75,6 +82,7 @@ class TrainingHistory:
             "validation_cvr_auc": list(self.validation_cvr_auc),
             "stopped_early": self.stopped_early,
             "events": [event.to_dict() for event in self.events],
+            "op_profile": self.op_profile,
         }
 
     @classmethod
@@ -84,6 +92,7 @@ class TrainingHistory:
             validation_cvr_auc=list(data.get("validation_cvr_auc", [])),
             stopped_early=bool(data.get("stopped_early", False)),
             events=[GuardEvent.from_dict(e) for e in data.get("events", [])],
+            op_profile=data.get("op_profile"),
         )
 
 
@@ -173,102 +182,117 @@ class Trainer:
 
         self.model.train()
         self._refresh_last_good()
-        for epoch in range(start_epoch, self.config.epochs):
-            resuming_epoch = epoch == start_epoch and skip_batches > 0
-            if not resuming_epoch:
-                epoch_loss_sum = 0.0
-                n_batches_done = 0
-            epoch_start_rng = self._rng.bit_generator.state
-            clean_steps = 0
-            for i, batch in enumerate(
-                batch_iterator(
-                    train,
-                    self.config.batch_size,
-                    rng=self._rng,
-                    shuffle=self.config.shuffle,
-                    drop_last=self.config.drop_last,
-                )
-            ):
-                if resuming_epoch and i < skip_batches:
-                    continue
-                if rel is not None and rel.fault_injector is not None:
-                    batch = rel.fault_injector.corrupt(batch, epoch, i)
-                loss = self.model.loss(batch)
-                value = loss.item()
-                if self._guard is not None:
-                    reason = self._guard.observe(value)
-                    if reason is not None:
-                        self._handle_trip(history, epoch, i, reason, value)
+        # One pass over the datasets proves every sparse id is in
+        # range, which lets the embedding layer skip its per-lookup
+        # bounds checks for the whole run (trusted_indices).
+        train.validate()
+        if validation is not None:
+            validation.validate()
+        profiler = OpProfiler() if self.config.profile_ops else None
+        with contextlib.ExitStack() as stack:
+            if profiler is not None:
+                stack.enter_context(profiler)
+            if self.config.sparse_embedding_grads:
+                stack.enter_context(sparse_grads(True))
+            stack.enter_context(trusted_indices())
+            for epoch in range(start_epoch, self.config.epochs):
+                resuming_epoch = epoch == start_epoch and skip_batches > 0
+                if not resuming_epoch:
+                    epoch_loss_sum = 0.0
+                    n_batches_done = 0
+                epoch_start_rng = self._rng.bit_generator.state
+                clean_steps = 0
+                for i, batch in enumerate(
+                    batch_iterator(
+                        train,
+                        self.config.batch_size,
+                        rng=self._rng,
+                        shuffle=self.config.shuffle,
+                        drop_last=self.config.drop_last,
+                    )
+                ):
+                    if resuming_epoch and i < skip_batches:
                         continue
-                self.optimizer.zero_grad()
-                loss.backward()
-                if self.config.grad_clip is not None:
-                    clip_global_norm(self.model.parameters(), self.config.grad_clip)
-                self.optimizer.step()
-                epoch_loss_sum += value
-                n_batches_done += 1
-                clean_steps += 1
-                if (
-                    self._guard is not None
-                    and clean_steps % self._guard.config.refresh_every == 0
-                ):
-                    self._refresh_last_good()
-                if (
-                    self._checkpoints is not None
-                    and rel.checkpoint_every_n_batches is not None
-                    and (i + 1) % rel.checkpoint_every_n_batches == 0
-                ):
+                    if rel is not None and rel.fault_injector is not None:
+                        batch = rel.fault_injector.corrupt(batch, epoch, i)
+                    loss = self.model.loss(batch)
+                    value = loss.item()
+                    if self._guard is not None:
+                        reason = self._guard.observe(value)
+                        if reason is not None:
+                            self._handle_trip(history, epoch, i, reason, value)
+                            continue
+                    self.optimizer.zero_grad()
+                    loss.backward()
+                    if self.config.grad_clip is not None:
+                        clip_global_norm(self.model.parameters(), self.config.grad_clip)
+                    self.optimizer.step()
+                    epoch_loss_sum += value
+                    n_batches_done += 1
+                    clean_steps += 1
+                    if (
+                        self._guard is not None
+                        and clean_steps % self._guard.config.refresh_every == 0
+                    ):
+                        self._refresh_last_good()
+                    if (
+                        self._checkpoints is not None
+                        and rel.checkpoint_every_n_batches is not None
+                        and (i + 1) % rel.checkpoint_every_n_batches == 0
+                    ):
+                        self._save_snapshot(
+                            history,
+                            epoch=epoch,
+                            batch_in_epoch=i + 1,
+                            rng_state=epoch_start_rng,
+                            epoch_loss_sum=epoch_loss_sum,
+                            n_batches_done=n_batches_done,
+                            best_metric=best_metric,
+                            stale=stale,
+                        )
+                history.epoch_losses.append(epoch_loss_sum / max(n_batches_done, 1))
+                logger.debug(
+                    "epoch %d: mean loss %.5f", epoch, history.epoch_losses[-1]
+                )
+                self._check_propensity(train, epoch, history)
+
+                if validation is not None:
+                    result = evaluate_model(self.model, validation)
+                    metric = (
+                        result.cvr_auc_d
+                        if result.cvr_auc_d is not None
+                        else (result.cvr_auc_o or 0.5)
+                    )
+                    history.validation_cvr_auc.append(metric)
+                    patience = self.config.early_stopping_patience
+                    if patience is not None:
+                        if metric > best_metric + 1e-6:
+                            best_metric = metric
+                            stale = 0
+                        else:
+                            stale += 1
+                            if stale >= patience:
+                                history.stopped_early = True
+                    self.model.train()
+
+                if self._checkpoints is not None:
+                    # Epoch-boundary snapshot: positioned at the *start* of
+                    # the next epoch, so the stored RNG state is the one the
+                    # next shuffle permutation will be drawn from.
                     self._save_snapshot(
                         history,
-                        epoch=epoch,
-                        batch_in_epoch=i + 1,
-                        rng_state=epoch_start_rng,
-                        epoch_loss_sum=epoch_loss_sum,
-                        n_batches_done=n_batches_done,
+                        epoch=epoch + 1,
+                        batch_in_epoch=0,
+                        rng_state=self._rng.bit_generator.state,
+                        epoch_loss_sum=0.0,
+                        n_batches_done=0,
                         best_metric=best_metric,
                         stale=stale,
                     )
-            history.epoch_losses.append(epoch_loss_sum / max(n_batches_done, 1))
-            logger.debug(
-                "epoch %d: mean loss %.5f", epoch, history.epoch_losses[-1]
-            )
-            self._check_propensity(train, epoch, history)
-
-            if validation is not None:
-                result = evaluate_model(self.model, validation)
-                metric = (
-                    result.cvr_auc_d
-                    if result.cvr_auc_d is not None
-                    else (result.cvr_auc_o or 0.5)
-                )
-                history.validation_cvr_auc.append(metric)
-                patience = self.config.early_stopping_patience
-                if patience is not None:
-                    if metric > best_metric + 1e-6:
-                        best_metric = metric
-                        stale = 0
-                    else:
-                        stale += 1
-                        if stale >= patience:
-                            history.stopped_early = True
-                self.model.train()
-
-            if self._checkpoints is not None:
-                # Epoch-boundary snapshot: positioned at the *start* of
-                # the next epoch, so the stored RNG state is the one the
-                # next shuffle permutation will be drawn from.
-                self._save_snapshot(
-                    history,
-                    epoch=epoch + 1,
-                    batch_in_epoch=0,
-                    rng_state=self._rng.bit_generator.state,
-                    epoch_loss_sum=0.0,
-                    n_batches_done=0,
-                    best_metric=best_metric,
-                    stale=stale,
-                )
-            if history.stopped_early:
-                break
+                if history.stopped_early:
+                    break
+        if profiler is not None:
+            history.op_profile = profiler.summary()
         self.model.eval()
         return history
 

@@ -183,3 +183,88 @@ class TestGradients:
             lambda a, b: (a @ b).sum(),
             [self.rng.normal(size=(2, 3, 4)), self.rng.normal(size=(2, 4, 2))],
         )
+
+
+class TestFusedKernels:
+    """The fused affine / sigmoid_bce nodes against their unfused forms."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(11)
+
+    def test_affine_matches_matmul_add(self):
+        x = self.rng.normal(size=(5, 3))
+        w = self.rng.normal(size=(3, 2))
+        b = self.rng.normal(size=(2,))
+        fused = ops.affine(Tensor(x), Tensor(w), Tensor(b)).data
+        unfused = x @ w + b
+        assert np.array_equal(fused, unfused)
+
+    def test_affine_no_bias(self):
+        x = self.rng.normal(size=(4, 3))
+        w = self.rng.normal(size=(3, 2))
+        assert np.array_equal(ops.affine(Tensor(x), Tensor(w)).data, x @ w)
+
+    def test_affine_rejects_higher_rank(self):
+        with pytest.raises(ValueError):
+            ops.affine(Tensor(np.ones((2, 3, 4))), Tensor(np.ones((4, 2))))
+
+    def test_affine_grad(self):
+        check_gradients(
+            lambda x, w, b: (ops.affine(x, w, b) ** 2).sum(),
+            [
+                self.rng.normal(size=(4, 3)),
+                self.rng.normal(size=(3, 2)),
+                self.rng.normal(size=(2,)),
+            ],
+        )
+
+    def test_affine_grad_no_bias(self):
+        check_gradients(
+            lambda x, w: (ops.affine(x, w) ** 2).sum(),
+            [self.rng.normal(size=(4, 3)), self.rng.normal(size=(3, 2))],
+        )
+
+    def test_sigmoid_bce_matches_composition(self):
+        z = self.rng.normal(size=(50,)) * 3.0
+        y = (self.rng.random(50) > 0.5).astype(float)
+        fused = ops.sigmoid_bce(Tensor(z), y).data
+        s = 1.0 / (1.0 + np.exp(-z))
+        composed = -(y * np.log(s) + (1.0 - y) * np.log(1.0 - s))
+        assert np.allclose(fused, composed, atol=1e-12)
+
+    def test_sigmoid_bce_extreme_logits_finite(self):
+        z = Tensor(np.array([-1000.0, 0.0, 1000.0]), requires_grad=True)
+        loss = ops.sigmoid_bce(z, np.array([1.0, 0.0, 0.0]))
+        assert np.all(np.isfinite(loss.data))
+        loss.sum().backward()
+        assert np.all(np.isfinite(z.grad))
+
+    def test_sigmoid_bce_grad(self):
+        y = (self.rng.random(6) > 0.5).astype(float)
+        check_gradients(
+            lambda z: ops.sigmoid_bce(z, y).sum(),
+            [self.rng.normal(size=(6,))],
+        )
+
+    def test_sigmoid_bce_grad_with_precomputed_probs(self):
+        z = self.rng.normal(size=(6,))
+        y = (self.rng.random(6) > 0.5).astype(float)
+        probs = 1.0 / (1.0 + np.exp(-z))
+        check_gradients(
+            lambda t: ops.sigmoid_bce(t, y, probs=probs).sum(), [z]
+        )
+
+    def test_sigmoid_output_remembers_logits(self):
+        z = Tensor(np.array([0.5, -0.5]), requires_grad=True)
+        out = ops.sigmoid(z)
+        assert out._logits is z
+
+    def test_branch_free_sigmoid_matches_two_branch(self):
+        x = np.concatenate([self.rng.normal(size=500) * 10, [0.0, -0.0]])
+        out = ops.sigmoid(Tensor(x)).data
+        expected = np.empty_like(x)
+        pos = x >= 0
+        expected[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        e = np.exp(x[~pos])
+        expected[~pos] = e / (1.0 + e)
+        assert np.allclose(out, expected, atol=1e-16)

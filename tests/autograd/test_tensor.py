@@ -220,6 +220,73 @@ class TestEngineBehaviour:
         assert (a <= 1.0).tolist() == [True, False]
 
 
+class TestLeafOnlyAccumulation:
+    """Gradients land only on leaves unless retain_grad() opts in."""
+
+    def test_intermediate_has_no_grad(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        mid = a * 3.0
+        mid.sum().backward()
+        assert mid.grad is None
+        assert np.allclose(a.grad, [3.0, 3.0])
+
+    def test_retain_grad_on_intermediate(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        mid = (a * 3.0).retain_grad()
+        (mid * mid).sum().backward()
+        assert np.allclose(mid.grad, 2.0 * 3.0 * np.array([1.0, 2.0]))
+        assert np.allclose(a.grad, 2.0 * 9.0 * np.array([1.0, 2.0]))
+
+    def test_retain_grad_returns_self(self):
+        a = Tensor([1.0], requires_grad=True)
+        assert a.retain_grad() is a
+
+    def test_retained_grad_sums_multiple_consumers(self):
+        a = Tensor([2.0], requires_grad=True)
+        mid = (a * 1.0).retain_grad()
+        (mid * 3.0 + mid * 4.0).sum().backward()
+        assert np.allclose(mid.grad, [7.0])
+        assert np.allclose(a.grad, [7.0])
+
+    def test_backward_on_leaf(self):
+        a = Tensor([1.0], requires_grad=True)
+        a.backward(np.array([2.0]))
+        assert np.allclose(a.grad, [2.0])
+
+    def test_leaf_grad_is_writable(self):
+        """Adopted gradient buffers must be private, mutable arrays."""
+        a = Tensor(np.ones(3), requires_grad=True)
+        a.sum().backward()  # sum backward emits a broadcast (read-only) view
+        a.grad[0] = 5.0
+        assert a.grad[0] == 5.0
+
+    def test_repeated_backward_accumulates(self):
+        a = Tensor([1.0], requires_grad=True)
+        loss = (a * 2.0).sum()
+        loss.backward()
+        loss.backward()
+        assert np.allclose(a.grad, [4.0])
+
+    def test_shared_passthrough_grad_not_aliased(self):
+        """``x + y`` hands one buffer to both parents; accumulating into
+        one leaf must not corrupt the other's gradient."""
+        x = Tensor([1.0, 1.0], requires_grad=True)
+        y = Tensor([2.0, 2.0], requires_grad=True)
+        # x receives two contributions (one via the shared add buffer),
+        # y exactly the shared buffer: if x's accumulation mutated it in
+        # place, y's gradient would be wrong.
+        ((x + y).sum() + (x * 3.0).sum()).backward()
+        assert np.allclose(x.grad, [4.0, 4.0])
+        assert np.allclose(y.grad, [1.0, 1.0])
+
+    def test_explicit_seed_array_not_adopted(self):
+        a = Tensor([1.0, 2.0], requires_grad=True)
+        seed = np.array([1.0, 1.0])
+        a.backward(seed)
+        a.grad[0] = 99.0
+        assert seed[0] == 1.0
+
+
 class TestUnbroadcast:
     def test_noop_when_same_shape(self):
         g = np.ones((2, 3))

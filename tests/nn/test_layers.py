@@ -13,6 +13,7 @@ from repro.nn import (
     get_activation,
     init,
 )
+from repro.nn.embedding import trusted_indices
 
 
 class TestLinear:
@@ -115,6 +116,37 @@ class TestEmbedding:
         grad = emb.weight.grad
         assert np.allclose(grad[2], 3.0)
         assert np.allclose(grad[[0, 1, 3, 4]], 0.0)
+
+    def test_non_contiguous_and_int32_indices_checked(self, rng):
+        """The fast uint64-view scan only covers contiguous int64; the
+        fallback path must still reject bad ids for other layouts."""
+        emb = Embedding(10, 4, rng)
+        strided = np.array([1, 12, 3, 12], dtype=np.int64)[::2]  # [1, 3]
+        assert emb(strided).shape == (2, 4)
+        with pytest.raises(IndexError):
+            emb(np.array([1, 12], dtype=np.int64)[::-1])
+        with pytest.raises(IndexError):
+            emb(np.array([-1], dtype=np.int32))
+
+    def test_trusted_indices_skips_prescan(self, rng):
+        emb = Embedding(10, 4, rng)
+        with trusted_indices():
+            # In range: works without the defensive pre-scan.
+            assert emb(np.array([0, 9])).shape == (2, 4)
+            # Negative ids are no longer rejected -- numpy wraps them.
+            out = emb(np.array([-1]))
+            assert np.array_equal(out.data[0], emb.weight.data[9])
+        # Context restored: validation is back on.
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_trusted_indices_restores_on_exception(self, rng):
+        emb = Embedding(10, 4, rng)
+        with pytest.raises(RuntimeError):
+            with trusted_indices():
+                raise RuntimeError("boom")
+        with pytest.raises(IndexError):
+            emb(np.array([10]))
 
 
 class TestDropoutAndActivations:

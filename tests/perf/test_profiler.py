@@ -1,0 +1,103 @@
+"""Op-level profiler: recording, nesting, and engine integration."""
+
+import numpy as np
+
+from repro.autograd import Tensor, ops
+from repro.nn.module import Parameter
+from repro.optim import Adam
+from repro.perf import OpProfiler, active
+from repro.perf.profiler import OpStat
+
+
+class TestOpProfiler:
+    def test_inactive_by_default(self):
+        assert active() is None
+        ops.sigmoid(Tensor([0.0]))  # must not blow up without a profiler
+        assert active() is None
+
+    def test_records_op_calls(self):
+        with OpProfiler() as prof:
+            ops.sigmoid(Tensor(np.zeros(100)))
+            ops.sigmoid(Tensor(np.zeros(100)))
+            ops.relu(Tensor(np.zeros(50)))
+        assert active() is None
+        assert prof.stats["sigmoid"].calls == 2
+        assert prof.stats["relu"].calls == 1
+        assert prof.stats["sigmoid"].seconds >= 0.0
+
+    def test_records_output_bytes(self):
+        with OpProfiler() as prof:
+            ops.relu(Tensor(np.zeros(100)))  # 100 float64 = 800 bytes out
+        stat = prof.stats["relu"]
+        assert stat.bytes_total == 800
+        assert stat.bytes_peak == 800
+
+    def test_bytes_peak_tracks_largest_call(self):
+        with OpProfiler() as prof:
+            ops.relu(Tensor(np.zeros(10)))
+            ops.relu(Tensor(np.zeros(1000)))
+            ops.relu(Tensor(np.zeros(10)))
+        assert prof.stats["relu"].bytes_peak == 8000
+        assert prof.stats["relu"].bytes_total == 8160
+
+    def test_nesting_restores_outer(self):
+        outer = OpProfiler()
+        inner = OpProfiler()
+        with outer:
+            ops.relu(Tensor([1.0]))
+            with inner:
+                assert active() is inner
+                ops.relu(Tensor([1.0]))
+            assert active() is outer
+        assert outer.stats["relu"].calls == 1
+        assert inner.stats["relu"].calls == 1
+
+    def test_backward_and_step_pseudo_ops(self):
+        p = Parameter(np.ones((4, 2)))
+        opt = Adam([p], lr=0.01)
+        with OpProfiler() as prof:
+            loss = ops.sigmoid(p).sum()
+            loss.backward()
+            opt.step()
+        assert prof.stats["backward"].calls == 1
+        assert prof.stats["optimizer.step"].calls == 1
+
+    def test_summary_sorted_by_seconds(self):
+        prof = OpProfiler()
+        prof.record("cheap", 0.001, 10)
+        prof.record("pricey", 0.5, 20)
+        summary = prof.summary()
+        assert list(summary["ops"]) == ["pricey", "cheap"]
+        assert summary["ops"]["pricey"]["calls"] == 1
+
+    def test_summary_is_json_serialisable(self):
+        import json
+
+        with OpProfiler() as prof:
+            ops.sigmoid(Tensor(np.zeros(10))).sum().backward()
+        json.dumps(prof.summary())  # must not raise
+
+    def test_report_renders(self):
+        with OpProfiler() as prof:
+            ops.relu(Tensor(np.zeros(10)))
+        text = prof.report()
+        assert "relu" in text
+        assert "total wall" in text
+
+    def test_opstat_to_dict(self):
+        stat = OpStat(calls=3, seconds=1.5, bytes_total=30, bytes_peak=20)
+        assert stat.to_dict() == {
+            "calls": 3,
+            "seconds": 1.5,
+            "bytes_total": 30,
+            "bytes_peak": 20,
+        }
+
+    def test_wall_seconds_accumulates(self):
+        prof = OpProfiler()
+        with prof:
+            pass
+        first = prof.wall_seconds
+        with prof:
+            pass
+        assert prof.wall_seconds >= first

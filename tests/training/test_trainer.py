@@ -6,6 +6,7 @@ import pytest
 from repro.data import load_scenario
 from repro.models import ModelConfig, build_model
 from repro.training import TrainConfig, Trainer, evaluate_model
+from repro.training.trainer import TrainingHistory
 from repro.training.evaluation import EvaluationResult
 
 
@@ -115,6 +116,51 @@ class TestTrainer:
             return m.predict(train.full_batch()).cvr
 
         assert np.array_equal(run(), run())
+
+    def test_sparse_and_dense_paths_match(self, world):
+        """The trainer's default sparse embedding-grad path is bit-exact
+        against the dense engine default."""
+        train, _ = world
+
+        def run(sparse):
+            m = build_model(
+                "dcmt",
+                train.schema,
+                ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=3),
+            )
+            config = TrainConfig(
+                epochs=1, batch_size=512, seed=3, sparse_embedding_grads=sparse
+            )
+            Trainer(m, config).fit(train)
+            return m.predict(train.full_batch()).cvr
+
+        assert np.array_equal(run(True), run(False))
+
+
+class TestOpProfileIntegration:
+    def test_profile_lands_in_history(self, world, model):
+        train, _ = world
+        config = TrainConfig(epochs=1, batch_size=512, profile_ops=True)
+        history = Trainer(model, config).fit(train)
+        assert history.op_profile is not None
+        ops_seen = history.op_profile["ops"]
+        assert "backward" in ops_seen
+        assert "optimizer.step" in ops_seen
+        assert "take_rows" in ops_seen
+        assert ops_seen["backward"]["calls"] > 0
+
+    def test_profile_off_by_default(self, world, model):
+        train, _ = world
+        history = Trainer(model, TrainConfig(epochs=1, batch_size=512)).fit(train)
+        assert history.op_profile is None
+
+    def test_history_roundtrips_profile(self, world, model):
+        train, _ = world
+        config = TrainConfig(epochs=1, batch_size=512, profile_ops=True)
+        history = Trainer(model, config).fit(train)
+        restored = TrainingHistory.from_dict(history.to_dict())
+        assert restored.op_profile == history.op_profile
+        assert restored.epoch_losses == history.epoch_losses
 
 
 class TestEvaluation:
