@@ -1,6 +1,6 @@
 # Convenience targets for the DCMT reproduction.
 
-.PHONY: install test bench bench-all report quickstart lint-clean verify-robustness
+.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks
 
 install:
 	pip install -e . || python setup.py develop
@@ -8,11 +8,30 @@ install:
 test:
 	pytest tests/
 
+# Static checks (ruff, configured in pyproject.toml).  Skips cleanly
+# when ruff is not installed so `make verify` works in minimal
+# environments; a real lint failure still fails the target.
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src/ tests/ examples/ benchmarks/; \
+	else \
+		echo "ruff not installed; skipping lint"; \
+	fi
+
+# The CI gate: lint plus the full tier-1 suite from a clean checkout.
+verify: lint
+	PYTHONPATH=src python -m pytest -x -q tests/
+
 # Every test tagged `robustness`: degenerate-batch hardening plus the
 # reliability subsystem (checkpoint/resume, guards, chaos serving).
 # Works from a clean checkout (no install needed).
 verify-robustness:
 	PYTHONPATH=src pytest -m robustness tests/
+
+# Every test tagged `callbacks`: the training-engine hook protocol
+# (ordering, vetoes, LR scheduling, checkpoint metadata).
+verify-callbacks:
+	PYTHONPATH=src pytest -m callbacks tests/
 
 # Throughput-only benches (dense/sparse training + inference); writes
 # BENCH_throughput.json at the repo root with measured rows/s, the

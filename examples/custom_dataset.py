@@ -20,7 +20,7 @@ from repro.data.loaders import ColumnSpec, export_csv_dataset, load_csv_split
 from repro.metrics import auc
 from repro.models import ModelConfig
 from repro.nn import load_checkpoint, save_checkpoint
-from repro.training import TrainConfig, Trainer
+from repro.training import TrainConfig, fit_model
 
 
 def main() -> None:
@@ -45,7 +45,7 @@ def main() -> None:
 
     # --- 2. train DCMT.
     model = DCMT(train.schema, ModelConfig(embedding_dim=8, hidden_sizes=(32, 16)))
-    Trainer(model, TrainConfig(epochs=4, learning_rate=0.003)).fit(train)
+    fit_model(model, train, TrainConfig(epochs=4, learning_rate=0.003))
 
     # --- 3. checkpoint and reload into a fresh instance.
     checkpoint = workdir / "dcmt.npz"

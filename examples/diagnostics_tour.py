@@ -16,7 +16,7 @@ from repro.metrics.diagnostics import (
     render_bucket_table,
 )
 from repro.models import ModelConfig, build_model
-from repro.training import TrainConfig, Trainer
+from repro.training import TrainConfig, fit_model
 from repro.training.calibration import PlattScaler
 
 
@@ -28,7 +28,7 @@ def main() -> None:
     models = {}
     for name in ("naive", "dcmt"):
         model = build_model(name, train.schema, config)
-        Trainer(model, tconfig).fit(train)
+        fit_model(model, train, tconfig)
         models[name] = model
         print(f"trained {name}")
 

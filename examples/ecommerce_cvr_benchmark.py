@@ -10,7 +10,7 @@ from repro.data import load_scenario
 from repro.experiments.tables import render_table
 from repro.metrics import auc
 from repro.models import ModelConfig, build_model
-from repro.training import TrainConfig, Trainer
+from repro.training import TrainConfig, fit_model
 
 MODELS = ("esmm", "mmoe", "escm2_ipw", "escm2_dr", "dcmt_pd", "dcmt_cf", "dcmt")
 
@@ -27,7 +27,7 @@ def main() -> None:
         model = build_model(
             name, train.schema, ModelConfig(embedding_dim=8, hidden_sizes=(32, 16))
         )
-        Trainer(model, TrainConfig(epochs=6, learning_rate=0.003)).fit(train)
+        fit_model(model, train, TrainConfig(epochs=6, learning_rate=0.003))
         preds = model.predict(test.full_batch())
         rows.append(
             [

@@ -5,13 +5,18 @@ A production-shaped drill in three acts::
     python examples/fault_tolerant_training.py
 
 1. **Kill and resume.**  A checkpointing training run is killed
-   mid-epoch (simulated preemption).  A fresh trainer resumes from the
+   mid-epoch (simulated preemption).  A fresh engine resumes from the
    newest valid snapshot and finishes; the result is bit-identical to
    a run that was never killed.
 2. **Divergence guard.**  The same model is trained on a batch stream
    poisoned with NaN features.  The loss guard trips, rolls back to
    the last good step, halves the learning rate, and training still
    ends with finite losses and finite weights.
+
+Acts 1 and 2 assemble their reliability features by hand as
+:class:`~repro.training.callbacks.Callback` objects on a bare
+:class:`~repro.training.TrainingEngine` -- the composable form of what
+``Trainer(model, config, reliability=...)`` wires up for you.
 3. **Chaos serving.**  The trained model serves pages while its
    primary scorer fails 30% of the time.  The circuit breaker opens
    and the fallback chain (shared CTR model, then popularity prior)
@@ -30,11 +35,16 @@ from repro.reliability import (
     FaultInjector,
     FaultSpec,
     LossGuardConfig,
-    ReliabilityConfig,
     ServingPolicy,
 )
 from repro.simulation.serving import RankingService
-from repro.training import TrainConfig, Trainer
+from repro.training import TrainConfig, TrainingEngine, fit_model
+from repro.training.callbacks import (
+    CheckpointCallback,
+    FaultInjectionCallback,
+    LossGuardCallback,
+    ValidationCallback,
+)
 from repro.utils.logging import enable_console_logging
 
 MODEL_CONFIG = ModelConfig(embedding_dim=8, hidden_sizes=(16,), seed=0)
@@ -45,20 +55,30 @@ class Preempted(Exception):
     """Stands in for SIGKILL / spot-instance reclamation."""
 
 
+def checkpointing_callbacks(checkpoint_dir: Path):
+    """Validation first, checkpoint last: the snapshot then carries the
+    fresh early-stopping state (ordering is load-bearing, see
+    ``repro.training.callbacks.base``)."""
+    return [
+        ValidationCallback(),
+        CheckpointCallback(checkpoint_dir, every_n_batches=3),
+    ]
+
+
 def act_1_kill_and_resume(train, test, checkpoint_dir: Path):
     print("\n=== Act 1: kill mid-epoch, resume bit-exactly ===")
-    reliability = ReliabilityConfig(
-        checkpoint_dir=str(checkpoint_dir), checkpoint_every_n_batches=3
-    )
 
-    # Reference: the run that never dies.
+    # Reference: the run that never dies (no checkpointing at all).
     reference = build_model("dcmt", train.schema, MODEL_CONFIG)
-    ref_history = Trainer(reference, TRAIN_CONFIG).fit(train, validation=test)
+    ref_history = fit_model(reference, train, TRAIN_CONFIG, validation=test)
 
-    # The doomed run: preempt after 9 optimizer steps.
+    # The doomed run: a bare engine with hand-assembled callbacks,
+    # preempted after 9 optimizer steps.
     doomed = build_model("dcmt", train.schema, MODEL_CONFIG)
-    trainer = Trainer(doomed, TRAIN_CONFIG, reliability=reliability)
-    real_step, calls = trainer.optimizer.step, [0]
+    engine = TrainingEngine(
+        doomed, TRAIN_CONFIG, callbacks=checkpointing_callbacks(checkpoint_dir)
+    )
+    real_step, calls = engine.optimizer.step, [0]
 
     def preemptible_step():
         calls[0] += 1
@@ -66,18 +86,18 @@ def act_1_kill_and_resume(train, test, checkpoint_dir: Path):
             raise Preempted
         real_step()
 
-    trainer.optimizer.step = preemptible_step
+    engine.optimizer.step = preemptible_step
     try:
-        trainer.fit(train, validation=test)
+        engine.fit(train, validation=test)
     except Preempted:
         print(f"  killed after {calls[0] - 1} steps; "
               f"{len(list(checkpoint_dir.glob('*.ckpt')))} snapshots on disk")
 
-    # A fresh process: new model object, new trainer, resume from disk.
+    # A fresh process: new model object, new engine, resume from disk.
     resumed = build_model("dcmt", train.schema, MODEL_CONFIG.with_overrides(seed=42))
-    history = Trainer(resumed, TRAIN_CONFIG, reliability=reliability).fit(
-        train, validation=test, resume_from=checkpoint_dir
-    )
+    history = TrainingEngine(
+        resumed, TRAIN_CONFIG, callbacks=checkpointing_callbacks(checkpoint_dir)
+    ).fit(train, validation=test, resume_from=checkpoint_dir)
 
     ref_state = reference.state_dict()
     identical = all(
@@ -92,24 +112,28 @@ def act_1_kill_and_resume(train, test, checkpoint_dir: Path):
 def act_2_divergence_guard(train):
     print("\n=== Act 2: NaN batches trip the loss guard ===")
     model = build_model("dcmt", train.schema, MODEL_CONFIG)
-    trainer = Trainer(
+    # Order matters: fault injection corrupts the batch *before* the
+    # guard classifies its loss.
+    engine = TrainingEngine(
         model,
         TRAIN_CONFIG,
-        reliability=ReliabilityConfig(
-            guard=LossGuardConfig(),
-            fault_injector=FaultInjector(
-                FaultSpec(nan_feature_rate=0.15, nan_fraction=0.5), seed=13
+        callbacks=[
+            FaultInjectionCallback(
+                FaultInjector(
+                    FaultSpec(nan_feature_rate=0.15, nan_fraction=0.5), seed=13
+                )
             ),
-        ),
+            LossGuardCallback(LossGuardConfig()),
+        ],
     )
-    history = trainer.fit(train)
+    history = engine.fit(train)
     trips = [e for e in history.events if e.action == "rollback_lr_halved"]
     print(f"  guard trips: {len(trips)} "
           f"(reasons: {sorted({e.reason for e in trips})})")
-    print(f"  learning rate {TRAIN_CONFIG.learning_rate} -> {trainer.optimizer.lr:g}")
+    print(f"  learning rate {TRAIN_CONFIG.learning_rate} -> {engine.optimizer.lr:g}")
     print(f"  epoch losses all finite: "
           f"{all(np.isfinite(x) for x in history.epoch_losses)}")
-    assert trips and trainer.optimizer.lr < TRAIN_CONFIG.learning_rate
+    assert trips and engine.optimizer.lr < TRAIN_CONFIG.learning_rate
     assert all(np.all(np.isfinite(p.data)) for p in model.parameters())
 
 

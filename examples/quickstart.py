@@ -8,7 +8,7 @@ Runs in well under a minute on a laptop CPU::
 from repro.core import DCMT
 from repro.data import load_scenario
 from repro.models import ModelConfig
-from repro.training import TrainConfig, Trainer, evaluate_model
+from repro.training import TrainConfig, evaluate_model, fit_model
 from repro.utils.logging import enable_console_logging
 
 
@@ -32,8 +32,9 @@ def main() -> None:
     print(f"DCMT parameters: {model.num_parameters()}")
 
     # 3. Train with the paper's protocol (Adam, batch 1024, L2 decay).
-    trainer = Trainer(model, TrainConfig(epochs=5, learning_rate=0.003))
-    history = trainer.fit(train, validation=test)
+    history = fit_model(
+        model, train, TrainConfig(epochs=5, learning_rate=0.003), validation=test
+    )
     print(f"epoch losses: {[round(x, 4) for x in history.epoch_losses]}")
 
     # 4. Evaluate over the click space and (via the oracle) the entire

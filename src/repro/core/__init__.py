@@ -4,10 +4,12 @@
   of Fig. 6: a shared deep trunk (``theta_d``) with factual and
   counterfactual heads (``theta_f``, ``theta_cf``) plus per-head wide
   linear parts.
-* :mod:`~repro.core.losses` -- the entire-space CVR losses: the naive
-  propensity-debiased loss of Eq. (7) (DCMT_PD), the counterfactual
-  loss of Eq. (8), the soft counterfactual regularizer of Eq. (9), and
-  the SNIPS self-normalised weights of Eq. (13).
+* :mod:`~repro.core.losses` -- the unified causal objective layer: the
+  entire-space CVR losses (Eq. (7)-(9)), the SNIPS self-normalised
+  weights of Eq. (13), and the shared IPW/DR primitives
+  (``clip_propensity``, ``ipw_weights``, ``ipw_risk``,
+  ``doubly_robust_risk``) that the ESCM2/Multi baselines consume too,
+  so every Table III model applies one audited set of causal weights.
 * :class:`~repro.core.dcmt.DCMT` -- the full model (Eq. (14)), with
   ``variant`` switches for the paper's ablations DCMT_PD / DCMT_CF and
   a ``constraint="hard"`` mode reproducing Fig. 8(d).
@@ -18,9 +20,15 @@
 from repro.core.twin_tower import TwinTower
 from repro.core.dcmt import DCMT
 from repro.core.losses import (
+    clip_propensity,
+    counterfactual_ipw_weights,
     counterfactual_regularizer,
     dcmt_cvr_loss,
+    doubly_robust_risk,
     entire_space_ipw_loss,
+    imputation_regression_loss,
+    ipw_risk,
+    ipw_weights,
     snips_weights,
 )
 from repro.core import theory
@@ -29,9 +37,15 @@ from repro.core.strategies import STRATEGIES, counterfactual_targets
 __all__ = [
     "TwinTower",
     "DCMT",
+    "clip_propensity",
     "dcmt_cvr_loss",
     "entire_space_ipw_loss",
     "counterfactual_regularizer",
+    "counterfactual_ipw_weights",
+    "doubly_robust_risk",
+    "imputation_regression_loss",
+    "ipw_risk",
+    "ipw_weights",
     "snips_weights",
     "theory",
     "STRATEGIES",

@@ -1,4 +1,12 @@
-"""DCMT loss functions (Eq. (7), (8), (9), (13)).
+"""The unified causal objective layer (Eq. (5)-(9), (13)).
+
+One audited home for every causal weighting used across the Table III
+model zoo: propensity clipping, plain IPW and counterfactual-IPW
+weights, SNIPS self-normalisation, and the doubly-robust risk.  DCMT
+(:mod:`repro.core.dcmt`) and the ESCM2/Multi-IPW/Multi-DR baselines
+(:mod:`repro.models.escm2`) consume the same primitives, so their
+treatment of ``o_hat`` cannot silently drift apart (the cross-model
+parity test in ``tests/models/test_weight_parity.py`` pins this).
 
 All importance weights are plain numpy (detached): gradients never flow
 through propensities, matching the stop-gradient treatment of the
@@ -10,7 +18,7 @@ variance.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -23,6 +31,90 @@ def clip_propensity(propensity: np.ndarray, floor: float) -> np.ndarray:
     if not 0.0 < floor < 0.5:
         raise ValueError(f"propensity floor must be in (0, 0.5), got {floor}")
     return np.clip(np.asarray(propensity, dtype=float), floor, 1.0 - floor)
+
+
+def ipw_weights(
+    clicks: np.ndarray, propensity: np.ndarray, floor: float
+) -> np.ndarray:
+    """Factual inverse-propensity weights ``o / clip(o_hat)``.
+
+    Non-zero on clicked rows only -- the ``1/o_hat`` re-weighting shared
+    by ESCM2-IPW (Eq. (5)) and DCMT's factual term (Eq. (7)/(9)).
+    """
+    o = np.asarray(clicks, dtype=float)
+    return o / clip_propensity(propensity, floor)
+
+
+def counterfactual_ipw_weights(
+    clicks: np.ndarray, propensity: np.ndarray, floor: float
+) -> np.ndarray:
+    """Counterfactual weights ``(1 - o) / (1 - clip(o_hat))``.
+
+    Non-zero on non-clicked rows only -- the mirror-space re-weighting
+    of DCMT's counterfactual term (Eq. (9)).
+    """
+    o = np.asarray(clicks, dtype=float)
+    return (1.0 - o) / (1.0 - clip_propensity(propensity, floor))
+
+
+def ipw_risk(
+    errors: Tensor,
+    clicks: np.ndarray,
+    propensity: np.ndarray,
+    floor: float,
+    denominator: Optional[float] = None,
+) -> Tensor:
+    """Eq. (5): ``sum_O e / o_hat``, normalised by ``denominator``.
+
+    ``denominator`` defaults to ``|D|`` (the batch size), the
+    entire-space normalisation ESCM2 uses.
+    """
+    weights = ipw_weights(clicks, propensity, floor)
+    denom = float(len(weights)) if denominator is None else float(denominator)
+    return functional.weighted_mean(errors, weights, denominator=denom)
+
+
+def doubly_robust_risk(
+    errors: Tensor,
+    imputed_errors: Tensor,
+    clicks: np.ndarray,
+    propensity: np.ndarray,
+    floor: float,
+    denominator: Optional[float] = None,
+) -> Tensor:
+    """Eq. (6): ``mean(e_hat) + mean(o * (e - e_hat) / o_hat)``.
+
+    The error-imputation term covers the entire space; the
+    propensity-weighted residual corrects it on the click space.
+    """
+    weights = ipw_weights(clicks, propensity, floor)
+    denom = float(len(weights)) if denominator is None else float(denominator)
+    direct = imputed_errors.mean()
+    correction = functional.weighted_mean(
+        errors - imputed_errors, weights, denominator=denom
+    )
+    return direct + correction
+
+
+def imputation_regression_loss(
+    errors: Tensor,
+    imputed_errors: Tensor,
+    clicks: np.ndarray,
+    propensity: np.ndarray,
+    floor: float,
+    denominator: Optional[float] = None,
+) -> Tensor:
+    """Propensity-weighted squared residual that trains the DR tower.
+
+    ``errors`` is detached inside: the imputation tower should chase the
+    CVR error, not push it.
+    """
+    weights = ipw_weights(clicks, propensity, floor)
+    denom = float(len(weights)) if denominator is None else float(denominator)
+    residual = Tensor(np.asarray(errors.data)) - imputed_errors
+    return functional.weighted_mean(
+        residual * residual, weights, denominator=denom
+    )
 
 
 def snips_weights(
@@ -72,8 +164,9 @@ def entire_space_ipw_loss(
         weights = w_f + w_cf
         return functional.weighted_mean(errors, weights, denominator=2.0)
     o = np.asarray(clicks, dtype=float)
-    p = clip_propensity(propensity, floor)
-    weights = o / p + (1.0 - o) / (1.0 - p)
+    weights = ipw_weights(o, propensity, floor) + counterfactual_ipw_weights(
+        o, propensity, floor
+    )
     return functional.weighted_mean(errors, weights, denominator=float(len(o)))
 
 
@@ -139,13 +232,12 @@ def dcmt_cvr_loss(
                 counterfactual_errors, w_cf * scale, denominator=1.0
             )
         else:
-            p = clip_propensity(propensity, floor)
             factual_term = functional.weighted_mean(
-                factual_errors, o / p, denominator=n
+                factual_errors, ipw_weights(o, propensity, floor), denominator=n
             )
             counterfactual_term = functional.weighted_mean(
                 counterfactual_errors,
-                scale * (1.0 - o) / (1.0 - p),
+                scale * counterfactual_ipw_weights(o, propensity, floor),
                 denominator=n,
             )
     else:

@@ -28,7 +28,7 @@ from repro.data.synthetic import SyntheticScenario
 from repro.experiments.configs import ExperimentConfig
 from repro.experiments.tables import render_series, render_table
 from repro.metrics.ranking import auc
-from repro.training import Trainer
+from repro.training import fit_model
 from repro.utils.logging import get_logger
 
 logger = get_logger("experiments.fig8")
@@ -131,7 +131,7 @@ def _train_and_score(
     scores = []
     for seed in config.seeds:
         model = model_factory(train.schema, seed)
-        Trainer(model, config.train_config(seed)).fit(train)
+        fit_model(model, train, config.train_config(seed))
         preds = model.predict(test.full_batch())
         scores.append(auc(test.conversions, preds.cvr))
     return float(np.mean(scores))
@@ -247,7 +247,7 @@ def run_fig8d_hard_constraint(
     train, test = scenario.generate()
     seed = config.seeds[0]
     model = DCMT(train.schema, config.model_config(seed), constraint="hard")
-    Trainer(model, config.train_config(seed)).fit(train)
+    fit_model(model, train, config.train_config(seed))
     rng = np.random.default_rng(seed)
     idx = rng.choice(len(test), size=min(n_samples, len(test)), replace=False)
     preds = model.predict(test.subset(idx).full_batch())

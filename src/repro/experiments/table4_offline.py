@@ -33,7 +33,7 @@ from repro.experiments.configs import (
 from repro.experiments.tables import render_table
 from repro.metrics.ranking import auc
 from repro.models.registry import build_model
-from repro.training import Trainer
+from repro.training import fit_model
 from repro.utils.logging import get_logger
 
 logger = get_logger("experiments.table4")
@@ -186,7 +186,7 @@ def run_table4(
                 model = build_model(
                     model_name, train.schema, config.model_config(seed)
                 )
-                Trainer(model, config.train_config(seed)).fit(train)
+                fit_model(model, train, config.train_config(seed))
                 preds = model.predict(test_batch)
                 cvr_scores.append(auc(test.conversions, preds.cvr))
                 ctcvr_scores.append(auc(test.conversions, preds.ctcvr))

@@ -26,7 +26,7 @@ from repro.experiments.tables import render_table
 from repro.models.base import MultiTaskModel
 from repro.models.registry import build_model
 from repro.simulation.ab_test import ABTest, ABTestConfig, ABTestResult, METRICS
-from repro.training import Trainer
+from repro.training import fit_model
 from repro.utils.logging import get_logger
 
 logger = get_logger("experiments.table5")
@@ -77,7 +77,7 @@ def train_online_models(
     for name in model_names:
         seed = config.seeds[0]
         model = build_model(name, train.schema, config.model_config(seed))
-        Trainer(model, config.train_config(seed)).fit(train)
+        fit_model(model, train, config.train_config(seed))
         models[name] = model
         logger.info("trained online bucket %s", name)
     return models

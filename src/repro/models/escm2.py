@@ -11,8 +11,11 @@ head is trained with a counterfactual risk:
   corrects it with a propensity-weighted residual on ``O``.
 
 Propensities are detached (no gradient flows through importance
-weights) and clipped away from 0, standard practice shared with DCMT
-(Section III-F).
+weights) and clipped by the shared
+:func:`~repro.core.losses.clip_propensity` -- the *same* primitive (and
+the same ``[floor, 1-floor]`` range) DCMT uses, so the causal weights
+of the two frameworks cannot drift apart (Section III-F; pinned by
+``tests/models/test_weight_parity.py``).
 """
 
 from __future__ import annotations
@@ -21,6 +24,13 @@ import numpy as np
 
 from repro.autograd import functional, ops
 from repro.autograd.tensor import Tensor
+from repro.core.losses import (
+    clip_propensity,
+    doubly_robust_risk,
+    imputation_regression_loss,
+    ipw_risk,
+    ipw_weights,
+)
 from repro.data.dataset import Batch
 from repro.data.schema import FeatureSchema
 from repro.models.base import ModelConfig, MultiTaskModel
@@ -80,13 +90,24 @@ class ESCM2(MultiTaskModel):
 
     def _clipped_propensity(self, ctr: Tensor) -> np.ndarray:
         """Detached, clipped click propensity for importance weights."""
-        return np.clip(ctr.data, self.config.propensity_floor, 1.0)
+        return clip_propensity(ctr.data, self.config.propensity_floor)
+
+    def importance_weights(
+        self, clicks: np.ndarray, propensity: np.ndarray
+    ) -> np.ndarray:
+        """Per-sample CVR importance weights for given raw ``o_hat``.
+
+        The exact weights ``loss`` applies, exposed so cross-model
+        parity with DCMT is testable.
+        """
+        return ipw_weights(clicks, propensity, self.config.propensity_floor)
 
     def loss(self, batch: Batch) -> Tensor:
         outputs = self.forward_tensors(batch)
         ctr, cvr = outputs["ctr"], outputs["cvr"]
         clicks = batch.clicks.astype(float)
-        n = batch.size
+        n = float(batch.size)
+        floor = self.config.propensity_floor
 
         ctr_loss = functional.binary_cross_entropy(ctr, batch.clicks)
         ctcvr_loss = (
@@ -98,29 +119,20 @@ class ESCM2(MultiTaskModel):
         errors = functional.binary_cross_entropy(
             cvr, batch.conversions, reduction="none"
         )
-        propensity = self._clipped_propensity(ctr)
+        propensity = ctr.data  # detached: no gradient through weights
         if self.variant == "ipw":
             # Eq. (5): sum over O of e/o_hat, normalised by |D|.
-            cvr_loss = functional.weighted_mean(
-                errors, clicks / propensity, denominator=float(n)
-            )
+            cvr_loss = ipw_risk(errors, clicks, propensity, floor, denominator=n)
         else:
             e_hat = outputs["imputed_error"]
-            delta = errors - e_hat
-            # Eq. (6): mean(e_hat) + mean(o * delta / o_hat).
-            dr_direct = e_hat.mean()
-            dr_correction = functional.weighted_mean(
-                delta, clicks / propensity, denominator=float(n)
+            # Eq. (6): mean(e_hat) + mean(o * (e - e_hat) / o_hat),
+            # plus the regression that trains the imputation tower.
+            cvr_loss = doubly_robust_risk(
+                errors, e_hat, clicks, propensity, floor, denominator=n
             )
-            cvr_loss = dr_direct + dr_correction
-            # Imputation tower regression: propensity-weighted squared
-            # residual on the click space (errors detached -- the
-            # imputation tower should chase the CVR error, not push it).
-            residual = Tensor(errors.data) - e_hat
-            imputation_loss = functional.weighted_mean(
-                residual * residual, clicks / propensity, denominator=float(n)
+            cvr_loss = cvr_loss + self.imputation_weight * imputation_regression_loss(
+                errors, e_hat, clicks, propensity, floor, denominator=n
             )
-            cvr_loss = cvr_loss + self.imputation_weight * imputation_loss
 
         total = ctr_loss + self.config.cvr_weight * cvr_loss
         if self.global_supervision:

@@ -31,7 +31,7 @@ from repro.metrics.ranking import auc
 from repro.models.base import MultiTaskModel
 from repro.simulation.behavior import BehaviorSimulator
 from repro.simulation.serving import RankingService
-from repro.training import TrainConfig, Trainer
+from repro.training import TrainConfig, fit_model
 from repro.utils.logging import get_logger
 
 logger = get_logger("simulation.feedback")
@@ -179,7 +179,7 @@ class FeedbackLoopExperiment:
         for round_index in range(self.config.rounds):
             training = self._concat(pool)
             model = self.model_factory()
-            Trainer(model, self.train_config).fit(training)
+            fit_model(model, training, self.train_config)
             preds = model.predict(test_set.full_batch())
             cvr_auc = auc(test_set.conversions, preds.cvr)
             cvr_auc_do = (

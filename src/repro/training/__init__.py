@@ -1,24 +1,52 @@
 """Training and evaluation harness.
 
-:class:`~repro.training.trainer.Trainer` runs the paper's training
-protocol (Adam, batch 1024, up to 5 epochs, L2 weight decay as
-``lambda_2``); :mod:`~repro.training.evaluation` computes the offline
-metrics of Table IV plus the entire-space diagnostics enabled by the
-synthetic oracle.  Fault tolerance (checkpoint/resume, divergence
-guards, fault injection) is armed by passing a
-:class:`~repro.reliability.ReliabilityConfig` to the trainer.
+The composable :class:`~repro.training.engine.TrainingEngine` owns the
+canonical step loop; production concerns (checkpoint/resume, divergence
+guards, propensity monitoring, fault injection, profiling, LR
+scheduling, validation/early stopping) attach as
+:mod:`~repro.training.callbacks`.  :class:`~repro.training.trainer.Trainer`
+is the backward-compatible facade that assembles the default stack from
+a :class:`~repro.reliability.ReliabilityConfig`, and
+:func:`~repro.training.engine.fit_model` is the one-call functional
+form used by the experiment runners and examples.
+:mod:`~repro.training.evaluation` computes the offline metrics of
+Table IV plus the entire-space diagnostics enabled by the synthetic
+oracle.
 """
 
 from repro.reliability.config import ReliabilityConfig
 from repro.training.config import TrainConfig
-from repro.training.trainer import Trainer, TrainingHistory
+from repro.training.engine import TrainingEngine, fit_model
+from repro.training.history import TrainingHistory
+from repro.training.trainer import Trainer, default_callbacks
 from repro.training.evaluation import EvaluationResult, evaluate_model
+from repro.training.callbacks import (
+    Callback,
+    CheckpointCallback,
+    FaultInjectionCallback,
+    LossGuardCallback,
+    LRSchedulerCallback,
+    OpProfilerCallback,
+    PropensityMonitorCallback,
+    ValidationCallback,
+)
 
 __all__ = [
     "TrainConfig",
     "ReliabilityConfig",
     "Trainer",
+    "TrainingEngine",
     "TrainingHistory",
+    "fit_model",
+    "default_callbacks",
+    "Callback",
+    "CheckpointCallback",
+    "FaultInjectionCallback",
+    "LossGuardCallback",
+    "LRSchedulerCallback",
+    "OpProfilerCallback",
+    "PropensityMonitorCallback",
+    "ValidationCallback",
     "EvaluationResult",
     "evaluate_model",
 ]

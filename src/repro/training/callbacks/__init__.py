@@ -1,0 +1,45 @@
+"""Standalone callbacks for the composable training engine.
+
+Each production concern that used to live inside the ``Trainer.fit``
+monolith is one class here, attachable to any
+:class:`~repro.training.engine.TrainingEngine`:
+
+* :class:`CheckpointCallback` -- periodic checksummed snapshots,
+  mid-epoch and at epoch boundaries (PR 1's checkpoint/resume);
+* :class:`LossGuardCallback` -- NaN/spike detection with rollback and
+  LR decay (PR 1's divergence guards);
+* :class:`PropensityMonitorCallback` -- epoch-end ``o_hat`` clip-boundary
+  pile-up warnings (PR 1's propensity monitoring);
+* :class:`FaultInjectionCallback` -- seeded batch corruption for chaos
+  drills (PR 1's fault injection);
+* :class:`OpProfilerCallback` -- op-level profiling of the fit loop
+  (PR 2's profiler, ``TrainConfig.profile_ops``);
+* :class:`LRSchedulerCallback` -- per-epoch/per-batch LR schedules,
+  guard-aware;
+* :class:`ValidationCallback` -- epoch-end evaluation and early stopping.
+
+See :mod:`repro.training.callbacks.base` for the hook protocol and its
+ordering guarantees.
+"""
+
+from repro.training.callbacks.base import Callback, CallbackList, TrainingContext
+from repro.training.callbacks.checkpoint import CheckpointCallback
+from repro.training.callbacks.faults import FaultInjectionCallback
+from repro.training.callbacks.guard import LossGuardCallback
+from repro.training.callbacks.monitor import PropensityMonitorCallback
+from repro.training.callbacks.profiling import OpProfilerCallback
+from repro.training.callbacks.scheduling import LRSchedulerCallback
+from repro.training.callbacks.validation import ValidationCallback
+
+__all__ = [
+    "Callback",
+    "CallbackList",
+    "TrainingContext",
+    "CheckpointCallback",
+    "FaultInjectionCallback",
+    "LossGuardCallback",
+    "PropensityMonitorCallback",
+    "OpProfilerCallback",
+    "LRSchedulerCallback",
+    "ValidationCallback",
+]

@@ -1,0 +1,105 @@
+"""Checkpoint callback: periodic checksummed snapshots of the run.
+
+Re-homes the monolith's checkpoint plumbing.  Mid-epoch saves (every
+``every_n_batches`` clean batches) store the *epoch-start* RNG state
+plus the number of batches already consumed, so a resume re-draws the
+identical shuffle permutation and skips forward; epoch-boundary saves
+are positioned at the start of the next epoch.  Snapshot layout and
+file format are unchanged from the monolithic trainer -- old
+checkpoints resume through the callback and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.reliability.checkpoint import CheckpointManager, TrainingSnapshot
+from repro.training.callbacks.base import Callback, TrainingContext
+from repro.utils.logging import get_logger, log_event
+
+logger = get_logger("training")
+
+#: Checkpoint step ids order epoch boundaries after any mid-epoch save.
+_STEPS_PER_EPOCH_KEY = 1_000_000
+
+
+class CheckpointCallback(Callback):
+    """Saves rotating :class:`TrainingSnapshot` files during training."""
+
+    def __init__(
+        self,
+        directory: str,
+        keep: int = 3,
+        every_n_batches: Optional[int] = None,
+        manager: Optional[CheckpointManager] = None,
+    ) -> None:
+        if every_n_batches is not None and every_n_batches < 1:
+            raise ValueError(
+                f"every_n_batches must be >= 1 or None, got {every_n_batches}"
+            )
+        self.manager = manager or CheckpointManager(directory, keep=keep)
+        self.every_n_batches = every_n_batches
+
+    # ------------------------------------------------------------------
+    def on_batch_end(self, ctx: TrainingContext) -> None:
+        if (
+            self.every_n_batches is not None
+            and (ctx.batch_index + 1) % self.every_n_batches == 0
+        ):
+            self._save(
+                ctx,
+                epoch=ctx.epoch,
+                batch_in_epoch=ctx.batch_index + 1,
+                rng_state=ctx.epoch_start_rng,
+                epoch_loss_sum=ctx.epoch_loss_sum,
+                n_batches_done=ctx.n_batches_done,
+            )
+
+    def on_epoch_end(self, ctx: TrainingContext) -> None:
+        # Epoch-boundary snapshot: positioned at the *start* of the next
+        # epoch, so the stored RNG state is the one the next shuffle
+        # permutation will be drawn from.
+        self._save(
+            ctx,
+            epoch=ctx.epoch + 1,
+            batch_in_epoch=0,
+            rng_state=ctx.rng.bit_generator.state,
+            epoch_loss_sum=0.0,
+            n_batches_done=0,
+        )
+
+    # ------------------------------------------------------------------
+    def _save(
+        self,
+        ctx: TrainingContext,
+        epoch: int,
+        batch_in_epoch: int,
+        rng_state: Optional[Dict[str, Any]],
+        epoch_loss_sum: float,
+        n_batches_done: int,
+    ) -> None:
+        snapshot = TrainingSnapshot(
+            model_state=ctx.model.state_dict(),
+            optimizer_state=ctx.optimizer.state_dict(),
+            trainer_rng_state=rng_state,
+            module_rng_states=[
+                g.bit_generator.state for g in ctx.engine.module_rngs()
+            ],
+            history=ctx.history.to_dict(),
+            epoch=epoch,
+            batch_in_epoch=batch_in_epoch,
+            epoch_loss_sum=epoch_loss_sum,
+            n_batches_done=n_batches_done,
+            best_metric=float(ctx.best_metric),
+            stale=ctx.stale,
+            metadata=ctx.collect_checkpoint_metadata(),
+        )
+        step = epoch * _STEPS_PER_EPOCH_KEY + batch_in_epoch
+        path = self.manager.save(snapshot, step)
+        log_event(
+            logger,
+            "checkpoint_saved",
+            path=str(path),
+            epoch=epoch,
+            batch=batch_in_epoch,
+        )

@@ -1,0 +1,21 @@
+"""Fault-injection callback: corrupts the batch stream for chaos drills.
+
+Wraps a seeded :class:`~repro.reliability.faults.FaultInjector`; the
+corruption is a pure function of (epoch, batch index, injector seed),
+so injected faults replay identically across resumed runs.
+"""
+
+from __future__ import annotations
+
+from repro.reliability.faults import FaultInjector
+from repro.training.callbacks.base import Callback, TrainingContext
+
+
+class FaultInjectionCallback(Callback):
+    """Replaces ``ctx.batch`` with a (possibly) corrupted copy."""
+
+    def __init__(self, injector: FaultInjector) -> None:
+        self.injector = injector
+
+    def on_batch_start(self, ctx: TrainingContext) -> None:
+        ctx.batch = self.injector.corrupt(ctx.batch, ctx.epoch, ctx.batch_index)

@@ -1,0 +1,54 @@
+"""Propensity-collapse monitoring callback.
+
+After every epoch the CTR head is probed on a fixed sample of the
+training set; a pile-up of ``o_hat`` at the clip boundary is surfaced
+as a :class:`~repro.reliability.errors.PropensityCollapseWarning` and
+recorded as a ``GuardEvent(action="warn")`` in the history -- the
+production failure mode where ``1/o_hat`` weights saturate and the
+debiasing quietly stops working.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.reliability.guards import GuardEvent, warn_on_propensity_collapse
+from repro.training.callbacks.base import Callback, TrainingContext
+
+
+class PropensityMonitorCallback(Callback):
+    """Warns when sampled ``o_hat`` piles up at the clip boundary."""
+
+    def __init__(self, sample: int = 2048, threshold: float = 0.5) -> None:
+        if sample < 0:
+            raise ValueError(f"sample must be >= 0, got {sample}")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.sample = sample
+        self.threshold = threshold
+
+    def on_epoch_end(self, ctx: TrainingContext) -> None:
+        if self.sample <= 0:
+            return
+        floor = getattr(ctx.model.config, "propensity_floor", None)
+        if not floor:
+            return
+        n = min(len(ctx.train), self.sample)
+        sample = ctx.train.subset(np.arange(n)).full_batch()
+        preds = ctx.model.predict(sample)
+        fraction = warn_on_propensity_collapse(
+            preds.ctr,
+            floor,
+            threshold=self.threshold,
+            context=f"epoch {ctx.epoch}",
+        )
+        if fraction is not None:
+            ctx.history.events.append(
+                GuardEvent(
+                    epoch=ctx.epoch,
+                    batch=-1,
+                    reason="propensity_collapse",
+                    value=fraction,
+                    action="warn",
+                )
+            )

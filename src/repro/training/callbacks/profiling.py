@@ -1,0 +1,32 @@
+"""Op-profiling callback.
+
+Installs an :class:`~repro.perf.OpProfiler` around the whole fit loop
+(via ``ctx.stack``, so it is uninstalled even when the run dies
+mid-epoch) and writes the summary into ``history.op_profile`` on normal
+completion -- exactly the contract ``TrainConfig.profile_ops`` has
+always had.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.perf import OpProfiler
+from repro.training.callbacks.base import Callback, TrainingContext
+
+
+class OpProfilerCallback(Callback):
+    """Profiles every autograd op executed during the fit loop."""
+
+    def __init__(self) -> None:
+        self.profiler: Optional[OpProfiler] = None
+
+    def on_fit_start(self, ctx: TrainingContext) -> None:
+        self.profiler = OpProfiler()
+        ctx.stack.enter_context(self.profiler)
+
+    def on_fit_end(self, ctx: TrainingContext) -> None:
+        # ctx.stack has already closed here, so the profiler's wall
+        # clock is final and the active-profiler slot is restored.
+        if self.profiler is not None:
+            ctx.history.op_profile = self.profiler.summary()

@@ -1,0 +1,66 @@
+"""Learning-rate scheduling callback.
+
+Wraps any :class:`~repro.optim.schedulers.Scheduler` and advances it
+once per epoch (default) or once per clean batch.  Composes with the
+loss guard: the scheduled rate is multiplied by ``ctx.lr_scale`` -- the
+cumulative decay factor accumulated by guard trips -- so a guard
+halving is not silently undone by the next scheduler step.
+
+The factory form (``LRSchedulerCallback(lambda opt: StepDecay(opt, 2))``)
+defers construction until ``on_fit_start``, when the engine's optimizer
+is known; a prebuilt scheduler is accepted too.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.schedulers import Scheduler
+from repro.training.callbacks.base import Callback, TrainingContext
+
+_INTERVALS = ("epoch", "batch")
+
+SchedulerFactory = Callable[[Optimizer], Scheduler]
+
+
+class LRSchedulerCallback(Callback):
+    """Steps an LR scheduler on a fixed cadence, guard-aware."""
+
+    def __init__(
+        self,
+        scheduler: Union[Scheduler, SchedulerFactory],
+        interval: str = "epoch",
+    ) -> None:
+        if interval not in _INTERVALS:
+            raise ValueError(f"interval must be one of {_INTERVALS}, got {interval!r}")
+        self.interval = interval
+        self._factory: Optional[SchedulerFactory] = None
+        self.scheduler: Optional[Scheduler] = None
+        if isinstance(scheduler, Scheduler):
+            self.scheduler = scheduler
+        else:
+            self._factory = scheduler
+
+    # ------------------------------------------------------------------
+    def on_fit_start(self, ctx: TrainingContext) -> None:
+        if self.scheduler is None:
+            self.scheduler = self._factory(ctx.optimizer)
+        elif self.scheduler.optimizer is not ctx.optimizer:
+            raise ValueError(
+                "scheduler wraps a different optimizer than the engine's"
+            )
+
+    def on_batch_end(self, ctx: TrainingContext) -> None:
+        if self.interval == "batch":
+            self._step(ctx)
+
+    def on_epoch_end(self, ctx: TrainingContext) -> None:
+        if self.interval == "epoch":
+            self._step(ctx)
+
+    # ------------------------------------------------------------------
+    def _step(self, ctx: TrainingContext) -> None:
+        lr = self.scheduler.step()
+        if ctx.lr_scale != 1.0:
+            ctx.optimizer.lr = lr * ctx.lr_scale

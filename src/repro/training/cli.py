@@ -18,7 +18,7 @@ from typing import List, Optional
 from repro.data.loaders import ColumnSpec, load_csv_split
 from repro.models import ModelConfig, MODEL_REGISTRY, build_model
 from repro.nn.serialization import save_checkpoint
-from repro.training import TrainConfig, Trainer, evaluate_model
+from repro.training import TrainConfig, evaluate_model, fit_model
 from repro.utils.logging import enable_console_logging
 
 
@@ -73,8 +73,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     print(f"model: {args.model} ({model.num_parameters()} parameters)")
 
-    trainer = Trainer(
+    history = fit_model(
         model,
+        train,
         TrainConfig(
             epochs=args.epochs,
             batch_size=args.batch_size,
@@ -82,7 +83,6 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
         ),
     )
-    history = trainer.fit(train)
     print(f"epoch losses: {[round(x, 5) for x in history.epoch_losses]}")
 
     result = evaluate_model(model, test)

@@ -1,0 +1,278 @@
+"""The composable training engine.
+
+:class:`TrainingEngine` owns exactly the canonical step loop::
+
+    forward -> loss -> backward -> clip -> step
+
+plus the invariants the loop depends on (dataset validation, sparse
+embedding gradients, trusted indices, the shuffle RNG, and bit-exact
+resume of the loop position).  Everything else -- checkpointing,
+divergence guards, propensity monitoring, fault injection, profiling,
+LR scheduling, validation/early stopping -- attaches through the
+:class:`~repro.training.callbacks.Callback` hook protocol, so scaling
+features are "write a callback", not "edit the loop".
+
+The legacy :class:`~repro.training.trainer.Trainer` facade assembles
+the default callback stack from a ``ReliabilityConfig`` and is
+bit-exact with the pre-engine monolith (see
+``tests/training/test_engine_golden.py``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.autograd.sparse import sparse_grads
+from repro.data.batching import batch_iterator
+from repro.data.dataset import InteractionDataset
+from repro.models.base import MultiTaskModel
+from repro.nn.embedding import trusted_indices
+from repro.optim import Adam, clip_global_norm
+from repro.optim.optimizer import Optimizer
+from repro.reliability.checkpoint import (
+    CheckpointManager,
+    TrainingSnapshot,
+    load_snapshot,
+)
+from repro.reliability.errors import CheckpointCorruptError
+from repro.training.callbacks.base import Callback, CallbackList, TrainingContext
+from repro.training.config import TrainConfig
+from repro.training.history import TrainingHistory
+from repro.utils.logging import get_logger, log_event
+
+logger = get_logger("training")
+
+
+class TrainingEngine:
+    """Minimal step-loop owner; all policy lives in callbacks.
+
+    Parameters
+    ----------
+    model, config:
+        The model to train and the loop knobs.  The ``lambda_2
+        ||theta||^2`` regularizer of Eq. (14) is applied as optimizer
+        weight decay.
+    optimizer:
+        Optional pre-built optimizer (the ``Trainer`` facade shares its
+        own).  Defaults to the paper's Adam.
+    callbacks:
+        Default callback stack for every ``fit`` call; a ``fit``-level
+        ``callbacks=`` argument replaces it for that call.
+    """
+
+    def __init__(
+        self,
+        model: MultiTaskModel,
+        config: TrainConfig,
+        optimizer: Optional[Optimizer] = None,
+        callbacks: Sequence[Callback] = (),
+    ) -> None:
+        self.model = model
+        self.config = config.validate()
+        self.optimizer = optimizer or Adam(
+            model.parameters(),
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        self.callbacks: List[Callback] = list(callbacks)
+        self._rng = np.random.default_rng(config.seed)
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        train: InteractionDataset,
+        validation: Optional[InteractionDataset] = None,
+        resume_from: "Path | str | None" = None,
+        callbacks: Optional[Sequence[Callback]] = None,
+    ) -> TrainingHistory:
+        """Run the step loop for up to ``config.epochs`` epochs.
+
+        ``resume_from`` accepts a checkpoint file or a checkpoint
+        directory (the newest *valid* snapshot is used); the run then
+        continues bit-exactly from where the snapshot was taken,
+        re-hydrating each callback's state from snapshot metadata.
+        """
+        hooks = CallbackList(self.callbacks if callbacks is None else callbacks)
+        ctx = TrainingContext(
+            engine=self,
+            model=self.model,
+            optimizer=self.optimizer,
+            config=self.config,
+            history=TrainingHistory(),
+            train=train,
+            validation=validation,
+            rng=self._rng,
+            callbacks=hooks.callbacks,
+        )
+        start_epoch = 0
+        skip_batches = 0
+
+        if resume_from is not None:
+            snapshot = self._resolve_resume(resume_from)
+            self._restore(snapshot)
+            ctx.history = TrainingHistory.from_dict(snapshot.history)
+            ctx.best_metric = snapshot.best_metric
+            ctx.stale = snapshot.stale
+            start_epoch = snapshot.epoch
+            skip_batches = snapshot.batch_in_epoch
+            ctx.epoch_loss_sum = snapshot.epoch_loss_sum
+            ctx.n_batches_done = snapshot.n_batches_done
+            hooks.fire("on_resume", ctx, snapshot)
+            log_event(
+                logger,
+                "resume",
+                epoch=start_epoch,
+                batch=skip_batches,
+                lr=self.optimizer.lr,
+            )
+            if ctx.history.stopped_early:
+                # The snapshotted run already finished via early
+                # stopping; there is nothing left to train.
+                log_event(logger, "resume_noop", reason="stopped_early")
+                self.model.eval()
+                return ctx.history
+
+        self.model.train()
+        with contextlib.ExitStack() as stack:
+            ctx.stack = stack
+            hooks.fire("on_fit_start", ctx)
+            # One pass over the datasets proves every sparse id is in
+            # range, which lets the embedding layer skip its per-lookup
+            # bounds checks for the whole run (trusted_indices).
+            train.validate()
+            if validation is not None:
+                validation.validate()
+            if self.config.sparse_embedding_grads:
+                stack.enter_context(sparse_grads(True))
+            stack.enter_context(trusted_indices())
+            for epoch in range(start_epoch, self.config.epochs):
+                ctx.epoch = epoch
+                resuming_epoch = epoch == start_epoch and skip_batches > 0
+                if not resuming_epoch:
+                    ctx.epoch_loss_sum = 0.0
+                    ctx.n_batches_done = 0
+                ctx.epoch_start_rng = self._rng.bit_generator.state
+                ctx.clean_steps = 0
+                hooks.fire("on_epoch_start", ctx)
+                for i, batch in enumerate(
+                    batch_iterator(
+                        train,
+                        self.config.batch_size,
+                        rng=self._rng,
+                        shuffle=self.config.shuffle,
+                        drop_last=self.config.drop_last,
+                    )
+                ):
+                    if resuming_epoch and i < skip_batches:
+                        continue
+                    ctx.batch_index = i
+                    ctx.batch = batch
+                    hooks.fire("on_batch_start", ctx)
+                    loss = self.model.loss(ctx.batch)
+                    ctx.loss_value = loss.item()
+                    ctx.skip_step = False
+                    hooks.fire("on_loss_computed", ctx)
+                    if ctx.skip_step:
+                        continue
+                    self.optimizer.zero_grad()
+                    loss.backward()
+                    hooks.fire("on_backward_end", ctx)
+                    if self.config.grad_clip is not None:
+                        clip_global_norm(
+                            self.model.parameters(), self.config.grad_clip
+                        )
+                    self.optimizer.step()
+                    ctx.epoch_loss_sum += ctx.loss_value
+                    ctx.n_batches_done += 1
+                    ctx.clean_steps += 1
+                    hooks.fire("on_batch_end", ctx)
+                ctx.history.epoch_losses.append(
+                    ctx.epoch_loss_sum / max(ctx.n_batches_done, 1)
+                )
+                logger.debug(
+                    "epoch %d: mean loss %.5f",
+                    epoch,
+                    ctx.history.epoch_losses[-1],
+                )
+                hooks.fire("on_epoch_end", ctx)
+                if ctx.history.stopped_early:
+                    break
+        hooks.fire("on_fit_end", ctx)
+        self.model.eval()
+        return ctx.history
+
+    # -- resume plumbing -----------------------------------------------
+    def _resolve_resume(self, resume_from: "Path | str") -> TrainingSnapshot:
+        path = Path(resume_from)
+        if path.is_dir():
+            manager = CheckpointManager(path, keep=1)
+            latest = manager.latest()
+            if latest is None:
+                raise CheckpointCorruptError(f"no valid checkpoint found in {path}")
+            return manager.load(latest)
+        return load_snapshot(path)
+
+    def _restore(self, snapshot: TrainingSnapshot) -> None:
+        self.model.load_state_dict(snapshot.model_state)
+        self.optimizer.load_state_dict(snapshot.optimizer_state)
+        if snapshot.trainer_rng_state is not None:
+            self._rng.bit_generator.state = snapshot.trainer_rng_state
+        rngs = self.module_rngs()
+        if snapshot.module_rng_states:
+            if len(snapshot.module_rng_states) != len(rngs):
+                raise CheckpointCorruptError(
+                    f"snapshot has {len(snapshot.module_rng_states)} module "
+                    f"RNG states, model has {len(rngs)}"
+                )
+            for gen, state in zip(rngs, snapshot.module_rng_states):
+                gen.bit_generator.state = state
+
+    def module_rngs(self) -> List[np.random.Generator]:
+        """Every generator held by the model's modules, in stable order.
+
+        Stochastic layers (dropout) draw from these during forward
+        passes; capturing them makes resumed training bit-exact even
+        when such layers are active.
+        """
+        rngs: List[np.random.Generator] = []
+        seen = set()
+        for module in self.model.modules():
+            for name in sorted(vars(module)):
+                value = vars(module)[name]
+                if isinstance(value, np.random.Generator) and id(value) not in seen:
+                    seen.add(id(value))
+                    rngs.append(value)
+        return rngs
+
+
+# ----------------------------------------------------------------------
+def fit_model(
+    model: MultiTaskModel,
+    train: InteractionDataset,
+    config: Optional[TrainConfig] = None,
+    validation: Optional[InteractionDataset] = None,
+    reliability=None,
+    callbacks: Sequence[Callback] = (),
+    resume_from: "Path | str | None" = None,
+) -> TrainingHistory:
+    """One-call training through the engine.
+
+    Builds the default callback stack (validation/early stopping, plus
+    whatever a :class:`~repro.reliability.ReliabilityConfig` arms and
+    the op profiler when ``config.profile_ops``), appends any extra
+    ``callbacks``, and runs ``fit``.  This is the entry point the
+    experiment runners and examples use; ``Trainer`` remains as the
+    object-shaped facade over the same path.
+    """
+    from repro.training.trainer import default_callbacks
+
+    config = config or TrainConfig()
+    engine = TrainingEngine(model, config)
+    stack = default_callbacks(config, reliability) + list(callbacks)
+    return engine.fit(
+        train, validation=validation, resume_from=resume_from, callbacks=stack
+    )

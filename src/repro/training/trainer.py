@@ -1,99 +1,93 @@
-"""The training loop, with optional fault tolerance.
+"""The training loop facade, with optional fault tolerance.
 
-``Trainer(model, config)`` behaves exactly as it always has.  Passing a
+``Trainer(model, config)`` behaves exactly as it always has, but is now
+a thin assembly layer over the composable
+:class:`~repro.training.engine.TrainingEngine`: it builds the default
+callback stack and delegates ``fit``.  Passing a
 :class:`~repro.reliability.ReliabilityConfig` additionally arms:
 
 * **checkpoint/resume** -- periodic checksummed snapshots of the full
-  training state (parameters, Adam moments, RNG streams, history, loop
-  counters) via :class:`~repro.reliability.CheckpointManager`;
-  ``fit(resume_from=...)`` continues a killed run bit-exactly, because
-  the snapshot stores the trainer RNG state *at epoch start* and the
-  number of batches already consumed, so the resumed run re-draws the
-  identical shuffle permutation and skips forward;
-* **divergence guards** -- a :class:`~repro.reliability.LossGuard`
-  classifies every batch loss; on a NaN/inf or rolling z-score spike
-  the trainer rolls the model and optimizer back to the last good
-  state, multiplies the learning rate by ``lr_factor``, and records a
-  :class:`~repro.reliability.GuardEvent` in the history instead of
-  silently training on garbage;
-* **propensity monitoring** -- after each epoch the CTR head is probed
-  on a fixed sample and a pile-up of ``o_hat`` at the clip boundary is
-  surfaced as a :class:`~repro.reliability.PropensityCollapseWarning`;
-* **fault injection** -- a seeded
-  :class:`~repro.reliability.FaultInjector` corrupts the batch stream,
-  used by tests and chaos drills to prove the guards fire.
+  training state via
+  :class:`~repro.training.callbacks.CheckpointCallback`;
+  ``fit(resume_from=...)`` continues a killed run bit-exactly;
+* **divergence guards** -- a
+  :class:`~repro.training.callbacks.LossGuardCallback` rolls the model
+  and optimizer back to the last good state on a NaN/inf or rolling
+  z-score spike, multiplies the learning rate by ``lr_factor``, and
+  records a :class:`~repro.reliability.GuardEvent` in the history;
+* **propensity monitoring** -- a
+  :class:`~repro.training.callbacks.PropensityMonitorCallback` probes
+  the CTR head after each epoch and surfaces ``o_hat`` pile-up at the
+  clip boundary;
+* **fault injection** -- a
+  :class:`~repro.training.callbacks.FaultInjectionCallback` corrupts
+  the batch stream, used by tests and chaos drills.
+
+Extra callbacks (e.g. an
+:class:`~repro.training.callbacks.LRSchedulerCallback`) append after
+the default stack via the ``callbacks`` constructor argument.
 """
 
 from __future__ import annotations
 
-import contextlib
-from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.autograd.sparse import sparse_grads
-from repro.data.batching import batch_iterator
 from repro.data.dataset import InteractionDataset
 from repro.models.base import MultiTaskModel
-from repro.nn.embedding import trusted_indices
-from repro.optim import Adam, clip_global_norm
-from repro.perf import OpProfiler
-from repro.reliability.checkpoint import (
-    CheckpointManager,
-    TrainingSnapshot,
-    load_snapshot,
-)
+from repro.optim import Adam
 from repro.reliability.config import ReliabilityConfig
-from repro.reliability.errors import CheckpointCorruptError, DivergenceError
-from repro.reliability.guards import GuardEvent, LossGuard, warn_on_propensity_collapse
+from repro.training.callbacks import (
+    Callback,
+    CheckpointCallback,
+    FaultInjectionCallback,
+    LossGuardCallback,
+    OpProfilerCallback,
+    PropensityMonitorCallback,
+    ValidationCallback,
+)
 from repro.training.config import TrainConfig
-from repro.training.evaluation import evaluate_model
-from repro.utils.logging import get_logger, log_event
+from repro.training.engine import TrainingEngine
+from repro.training.history import TrainingHistory
 
-logger = get_logger("training")
-
-#: Checkpoint step ids order epoch boundaries after any mid-epoch save.
-_STEPS_PER_EPOCH_KEY = 1_000_000
+__all__ = ["Trainer", "TrainingHistory", "default_callbacks"]
 
 
-@dataclass
-class TrainingHistory:
-    """Per-epoch training record (plus any guard interventions)."""
+def default_callbacks(
+    config: TrainConfig, reliability: Optional[ReliabilityConfig] = None
+) -> List[Callback]:
+    """The callback stack equivalent to the pre-engine monolith.
 
-    epoch_losses: List[float] = field(default_factory=list)
-    validation_cvr_auc: List[float] = field(default_factory=list)
-    stopped_early: bool = False
-    #: Guard interventions and structured warnings, in occurrence order.
-    events: List[GuardEvent] = field(default_factory=list)
-    #: Op-level profile of the fit loop (``OpProfiler.summary()``)
-    #: recorded when ``TrainConfig.profile_ops`` is set.
-    op_profile: Optional[Dict[str, Any]] = None
-
-    @property
-    def n_epochs_run(self) -> int:
-        return len(self.epoch_losses)
-
-    # ------------------------------------------------------------------
-    def to_dict(self) -> Dict[str, Any]:
-        return {
-            "epoch_losses": list(self.epoch_losses),
-            "validation_cvr_auc": list(self.validation_cvr_auc),
-            "stopped_early": self.stopped_early,
-            "events": [event.to_dict() for event in self.events],
-            "op_profile": self.op_profile,
-        }
-
-    @classmethod
-    def from_dict(cls, data: Dict[str, Any]) -> "TrainingHistory":
-        return cls(
-            epoch_losses=list(data.get("epoch_losses", [])),
-            validation_cvr_auc=list(data.get("validation_cvr_auc", [])),
-            stopped_early=bool(data.get("stopped_early", False)),
-            events=[GuardEvent.from_dict(e) for e in data.get("events", [])],
-            op_profile=data.get("op_profile"),
+    Registration order is load-bearing (see
+    :mod:`repro.training.callbacks.base`): fault injection corrupts the
+    batch before the guard classifies its loss; at epoch end the
+    propensity monitor and validation run before the checkpoint save so
+    the snapshot carries fresh events and early-stopping state.
+    """
+    callbacks: List[Callback] = []
+    if reliability is not None and reliability.fault_injector is not None:
+        callbacks.append(FaultInjectionCallback(reliability.fault_injector))
+    if reliability is not None and reliability.guard is not None:
+        callbacks.append(LossGuardCallback(reliability.guard))
+    if reliability is not None and reliability.propensity_check_sample > 0:
+        callbacks.append(
+            PropensityMonitorCallback(
+                sample=reliability.propensity_check_sample,
+                threshold=reliability.propensity_collapse_threshold,
+            )
         )
+    callbacks.append(ValidationCallback(patience=config.early_stopping_patience))
+    if reliability is not None and reliability.checkpoint_dir is not None:
+        callbacks.append(
+            CheckpointCallback(
+                reliability.checkpoint_dir,
+                keep=reliability.keep_checkpoints,
+                every_n_batches=reliability.checkpoint_every_n_batches,
+            )
+        )
+    if config.profile_ops:
+        callbacks.append(OpProfilerCallback())
+    return callbacks
 
 
 class Trainer:
@@ -108,6 +102,7 @@ class Trainer:
         model: MultiTaskModel,
         config: TrainConfig,
         reliability: Optional[ReliabilityConfig] = None,
+        callbacks: Sequence[Callback] = (),
     ) -> None:
         self.model = model
         self.config = config.validate()
@@ -117,17 +112,8 @@ class Trainer:
             lr=config.learning_rate,
             weight_decay=config.weight_decay,
         )
-        self._rng = np.random.default_rng(config.seed)
-        self._checkpoints: Optional[CheckpointManager] = None
-        self._guard: Optional[LossGuard] = None
-        if reliability is not None:
-            if reliability.checkpoint_dir is not None:
-                self._checkpoints = CheckpointManager(
-                    reliability.checkpoint_dir, keep=reliability.keep_checkpoints
-                )
-            if reliability.guard is not None:
-                self._guard = LossGuard(reliability.guard)
-        self._last_good: Optional[Dict[str, Any]] = None
+        self.extra_callbacks: List[Callback] = list(callbacks)
+        self.engine = TrainingEngine(model, config, optimizer=self.optimizer)
 
     # ------------------------------------------------------------------
     def fit(
@@ -147,328 +133,11 @@ class Trainer:
         directory (the newest *valid* snapshot is used); the run then
         continues bit-exactly from where the snapshot was taken.
         """
-        rel = self.reliability
-        history = TrainingHistory()
-        best_metric = -np.inf
-        stale = 0
-        start_epoch = 0
-        skip_batches = 0
-        epoch_loss_sum = 0.0
-        n_batches_done = 0
-
-        if resume_from is not None:
-            snapshot = self._resolve_resume(resume_from)
-            self._restore(snapshot)
-            history = TrainingHistory.from_dict(snapshot.history)
-            best_metric = snapshot.best_metric
-            stale = snapshot.stale
-            start_epoch = snapshot.epoch
-            skip_batches = snapshot.batch_in_epoch
-            epoch_loss_sum = snapshot.epoch_loss_sum
-            n_batches_done = snapshot.n_batches_done
-            log_event(
-                logger,
-                "resume",
-                epoch=start_epoch,
-                batch=skip_batches,
-                lr=self.optimizer.lr,
-            )
-            if history.stopped_early:
-                # The snapshotted run already finished via early
-                # stopping; there is nothing left to train.
-                log_event(logger, "resume_noop", reason="stopped_early")
-                self.model.eval()
-                return history
-
-        self.model.train()
-        self._refresh_last_good()
-        # One pass over the datasets proves every sparse id is in
-        # range, which lets the embedding layer skip its per-lookup
-        # bounds checks for the whole run (trusted_indices).
-        train.validate()
-        if validation is not None:
-            validation.validate()
-        profiler = OpProfiler() if self.config.profile_ops else None
-        with contextlib.ExitStack() as stack:
-            if profiler is not None:
-                stack.enter_context(profiler)
-            if self.config.sparse_embedding_grads:
-                stack.enter_context(sparse_grads(True))
-            stack.enter_context(trusted_indices())
-            for epoch in range(start_epoch, self.config.epochs):
-                resuming_epoch = epoch == start_epoch and skip_batches > 0
-                if not resuming_epoch:
-                    epoch_loss_sum = 0.0
-                    n_batches_done = 0
-                epoch_start_rng = self._rng.bit_generator.state
-                clean_steps = 0
-                for i, batch in enumerate(
-                    batch_iterator(
-                        train,
-                        self.config.batch_size,
-                        rng=self._rng,
-                        shuffle=self.config.shuffle,
-                        drop_last=self.config.drop_last,
-                    )
-                ):
-                    if resuming_epoch and i < skip_batches:
-                        continue
-                    if rel is not None and rel.fault_injector is not None:
-                        batch = rel.fault_injector.corrupt(batch, epoch, i)
-                    loss = self.model.loss(batch)
-                    value = loss.item()
-                    if self._guard is not None:
-                        reason = self._guard.observe(value)
-                        if reason is not None:
-                            self._handle_trip(history, epoch, i, reason, value)
-                            continue
-                    self.optimizer.zero_grad()
-                    loss.backward()
-                    if self.config.grad_clip is not None:
-                        clip_global_norm(self.model.parameters(), self.config.grad_clip)
-                    self.optimizer.step()
-                    epoch_loss_sum += value
-                    n_batches_done += 1
-                    clean_steps += 1
-                    if (
-                        self._guard is not None
-                        and clean_steps % self._guard.config.refresh_every == 0
-                    ):
-                        self._refresh_last_good()
-                    if (
-                        self._checkpoints is not None
-                        and rel.checkpoint_every_n_batches is not None
-                        and (i + 1) % rel.checkpoint_every_n_batches == 0
-                    ):
-                        self._save_snapshot(
-                            history,
-                            epoch=epoch,
-                            batch_in_epoch=i + 1,
-                            rng_state=epoch_start_rng,
-                            epoch_loss_sum=epoch_loss_sum,
-                            n_batches_done=n_batches_done,
-                            best_metric=best_metric,
-                            stale=stale,
-                        )
-                history.epoch_losses.append(epoch_loss_sum / max(n_batches_done, 1))
-                logger.debug(
-                    "epoch %d: mean loss %.5f", epoch, history.epoch_losses[-1]
-                )
-                self._check_propensity(train, epoch, history)
-
-                if validation is not None:
-                    result = evaluate_model(self.model, validation)
-                    metric = (
-                        result.cvr_auc_d
-                        if result.cvr_auc_d is not None
-                        else (result.cvr_auc_o or 0.5)
-                    )
-                    history.validation_cvr_auc.append(metric)
-                    patience = self.config.early_stopping_patience
-                    if patience is not None:
-                        if metric > best_metric + 1e-6:
-                            best_metric = metric
-                            stale = 0
-                        else:
-                            stale += 1
-                            if stale >= patience:
-                                history.stopped_early = True
-                    self.model.train()
-
-                if self._checkpoints is not None:
-                    # Epoch-boundary snapshot: positioned at the *start* of
-                    # the next epoch, so the stored RNG state is the one the
-                    # next shuffle permutation will be drawn from.
-                    self._save_snapshot(
-                        history,
-                        epoch=epoch + 1,
-                        batch_in_epoch=0,
-                        rng_state=self._rng.bit_generator.state,
-                        epoch_loss_sum=0.0,
-                        n_batches_done=0,
-                        best_metric=best_metric,
-                        stale=stale,
-                    )
-                if history.stopped_early:
-                    break
-        if profiler is not None:
-            history.op_profile = profiler.summary()
-        self.model.eval()
-        return history
-
-    # -- divergence handling -------------------------------------------
-    def _handle_trip(
-        self,
-        history: TrainingHistory,
-        epoch: int,
-        batch: int,
-        reason: str,
-        value: float,
-    ) -> None:
-        guard = self._guard
-        assert guard is not None
-        if guard.trips > guard.config.max_trips:
-            raise DivergenceError(
-                f"loss guard tripped {guard.trips} times (last: {reason} at "
-                f"epoch {epoch} batch {batch}); training is not recovering"
-            )
-        self._rollback_last_good()
-        new_lr = max(
-            self.optimizer.lr * guard.config.lr_factor, guard.config.min_lr
+        callbacks = default_callbacks(self.config, self.reliability)
+        callbacks.extend(self.extra_callbacks)
+        return self.engine.fit(
+            train,
+            validation=validation,
+            resume_from=resume_from,
+            callbacks=callbacks,
         )
-        self.optimizer.lr = new_lr
-        event = GuardEvent(
-            epoch=epoch,
-            batch=batch,
-            reason=reason,
-            value=float(value),
-            action="rollback_lr_halved",
-            lr_after=new_lr,
-        )
-        history.events.append(event)
-        # Re-capture the rollback point so the halved learning rate (and
-        # the restored weights) survive a consecutive trip.
-        self._refresh_last_good()
-        log_event(
-            logger,
-            "loss_guard_trip",
-            level=30,  # WARNING
-            reason=reason,
-            epoch=epoch,
-            batch=batch,
-            value=value,
-            lr_after=new_lr,
-        )
-
-    def _refresh_last_good(self) -> None:
-        if self._guard is None and self._checkpoints is None:
-            return
-        self._last_good = {
-            "model": self.model.state_dict(),
-            "optimizer": self.optimizer.state_dict(),
-        }
-
-    def _rollback_last_good(self) -> None:
-        if self._last_good is None:
-            return
-        self.model.load_state_dict(self._last_good["model"])
-        self.optimizer.load_state_dict(self._last_good["optimizer"])
-
-    # -- propensity monitoring -----------------------------------------
-    def _check_propensity(
-        self, train: InteractionDataset, epoch: int, history: TrainingHistory
-    ) -> None:
-        rel = self.reliability
-        if rel is None or rel.propensity_check_sample <= 0:
-            return
-        floor = getattr(self.model.config, "propensity_floor", None)
-        if not floor:
-            return
-        n = min(len(train), rel.propensity_check_sample)
-        sample = train.subset(np.arange(n)).full_batch()
-        preds = self.model.predict(sample)
-        fraction = warn_on_propensity_collapse(
-            preds.ctr,
-            floor,
-            threshold=rel.propensity_collapse_threshold,
-            context=f"epoch {epoch}",
-        )
-        if fraction is not None:
-            history.events.append(
-                GuardEvent(
-                    epoch=epoch,
-                    batch=-1,
-                    reason="propensity_collapse",
-                    value=fraction,
-                    action="warn",
-                )
-            )
-
-    # -- checkpoint plumbing -------------------------------------------
-    def _save_snapshot(
-        self,
-        history: TrainingHistory,
-        epoch: int,
-        batch_in_epoch: int,
-        rng_state: Dict[str, Any],
-        epoch_loss_sum: float,
-        n_batches_done: int,
-        best_metric: float,
-        stale: int,
-    ) -> None:
-        assert self._checkpoints is not None
-        metadata: Dict[str, Any] = {
-            "model_name": getattr(self.model, "model_name", type(self.model).__name__),
-        }
-        if self._guard is not None:
-            metadata["guard_recent"] = self._guard.recent_losses
-            metadata["guard_trips"] = self._guard.trips
-        snapshot = TrainingSnapshot(
-            model_state=self.model.state_dict(),
-            optimizer_state=self.optimizer.state_dict(),
-            trainer_rng_state=rng_state,
-            module_rng_states=[
-                g.bit_generator.state for g in self._module_rngs()
-            ],
-            history=history.to_dict(),
-            epoch=epoch,
-            batch_in_epoch=batch_in_epoch,
-            epoch_loss_sum=epoch_loss_sum,
-            n_batches_done=n_batches_done,
-            best_metric=float(best_metric),
-            stale=stale,
-            metadata=metadata,
-        )
-        step = epoch * _STEPS_PER_EPOCH_KEY + batch_in_epoch
-        path = self._checkpoints.save(snapshot, step)
-        log_event(logger, "checkpoint_saved", path=str(path), epoch=epoch, batch=batch_in_epoch)
-
-    def _restore(self, snapshot: TrainingSnapshot) -> None:
-        self.model.load_state_dict(snapshot.model_state)
-        self.optimizer.load_state_dict(snapshot.optimizer_state)
-        if snapshot.trainer_rng_state is not None:
-            self._rng.bit_generator.state = snapshot.trainer_rng_state
-        rngs = self._module_rngs()
-        if snapshot.module_rng_states:
-            if len(snapshot.module_rng_states) != len(rngs):
-                raise CheckpointCorruptError(
-                    f"snapshot has {len(snapshot.module_rng_states)} module "
-                    f"RNG states, model has {len(rngs)}"
-                )
-            for gen, state in zip(rngs, snapshot.module_rng_states):
-                gen.bit_generator.state = state
-        if self._guard is not None:
-            for value in snapshot.metadata.get("guard_recent", []):
-                self._guard.record(value)
-            self._guard.trips = int(snapshot.metadata.get("guard_trips", 0))
-
-    def _resolve_resume(self, resume_from: "Path | str") -> TrainingSnapshot:
-        path = Path(resume_from)
-        if path.is_dir():
-            manager = CheckpointManager(path, keep=max(
-                self.reliability.keep_checkpoints if self.reliability else 1, 1
-            ))
-            latest = manager.latest()
-            if latest is None:
-                raise CheckpointCorruptError(
-                    f"no valid checkpoint found in {path}"
-                )
-            return manager.load(latest)
-        return load_snapshot(path)
-
-    def _module_rngs(self) -> List[np.random.Generator]:
-        """Every generator held by the model's modules, in stable order.
-
-        Stochastic layers (dropout) draw from these during forward
-        passes; capturing them makes resumed training bit-exact even
-        when such layers are active.
-        """
-        rngs: List[np.random.Generator] = []
-        seen = set()
-        for module in self.model.modules():
-            for name in sorted(vars(module)):
-                value = vars(module)[name]
-                if isinstance(value, np.random.Generator) and id(value) not in seen:
-                    seen.add(id(value))
-                    rngs.append(value)
-        return rngs

@@ -1,0 +1,110 @@
+"""Cross-model parity of the causal importance weights.
+
+DCMT (``repro.core``) and ESCM2/Multi (``repro.models.escm2``) must
+apply the *same* inverse-propensity weights for the same ``o_hat`` and
+floor -- both now consume the shared primitives in
+:mod:`repro.core.losses`, and this module pins that contract so the two
+frameworks cannot silently drift apart again.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.losses import (
+    clip_propensity,
+    counterfactual_ipw_weights,
+    ipw_weights,
+    snips_weights,
+)
+from repro.data import load_scenario
+from repro.models import ModelConfig, build_model
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, _, _ = load_scenario(
+        "ae_es", n_users=30, n_items=40, n_train=1200, n_test=200
+    )
+    return train
+
+
+@pytest.fixture(scope="module")
+def batch(world):
+    return world.subset(np.arange(256)).full_batch()
+
+
+class TestPrimitives:
+    def test_clip_propensity_range(self):
+        p = np.array([0.0, 0.01, 0.5, 0.99, 1.0])
+        clipped = clip_propensity(p, 0.05)
+        assert clipped.min() >= 0.05
+        assert clipped.max() <= 0.95
+
+    @pytest.mark.parametrize("floor", [-0.1, 0.0, 0.5, 1.0])
+    def test_clip_propensity_rejects_bad_floor(self, floor):
+        with pytest.raises(ValueError):
+            clip_propensity(np.array([0.5]), floor)
+
+    def test_ipw_weights_zero_off_click_space(self):
+        rng = np.random.default_rng(0)
+        o = (rng.random(100) < 0.3).astype(float)
+        p = rng.random(100)
+        w = ipw_weights(o, p, 0.05)
+        assert np.all(w[o == 0] == 0.0)
+        np.testing.assert_allclose(w[o == 1], 1.0 / clip_propensity(p, 0.05)[o == 1])
+
+    def test_counterfactual_weights_mirror_click_space(self):
+        rng = np.random.default_rng(1)
+        o = (rng.random(100) < 0.3).astype(float)
+        p = rng.random(100)
+        w = counterfactual_ipw_weights(o, p, 0.05)
+        assert np.all(w[o == 1] == 0.0)
+        np.testing.assert_allclose(
+            w[o == 0], 1.0 / (1.0 - clip_propensity(p, 0.05))[o == 0]
+        )
+
+    def test_snips_weights_are_normalised_ipw_weights(self):
+        """SNIPS (Eq. 13) is plain IPW rescaled to sum to 1 per space."""
+        rng = np.random.default_rng(2)
+        o = (rng.random(200) < 0.3).astype(float)
+        p = rng.random(200)
+        w_f, w_cf = snips_weights(o, p, floor=0.05)
+        raw_f = ipw_weights(o, p, 0.05)
+        raw_cf = counterfactual_ipw_weights(o, p, 0.05)
+        np.testing.assert_allclose(w_f, raw_f / raw_f.sum())
+        np.testing.assert_allclose(w_cf, raw_cf / raw_cf.sum())
+        assert w_f.sum() == pytest.approx(1.0)
+        assert w_cf.sum() == pytest.approx(1.0)
+
+
+class TestCrossModelParity:
+    """Same ``o_hat``, same floor => bit-identical weights everywhere."""
+
+    @pytest.mark.parametrize("floor", [0.03, 0.05, 0.2])
+    def test_dcmt_and_escm2_weights_identical(self, world, batch, floor):
+        escm2 = build_model(
+            "escm2_ipw",
+            world.schema,
+            ModelConfig(embedding_dim=4, hidden_sizes=(8,), propensity_floor=floor),
+        )
+        o_hat = escm2.forward_tensors(batch)["ctr"].data
+        clicks = batch.clicks.astype(float)
+        # The weights ESCM2's loss applies (Eq. 5) ...
+        escm2_w = escm2.importance_weights(clicks, o_hat)
+        # ... and the weights DCMT's factual term applies (Eq. 7/9,
+        # non-SNIPS form) come from the one shared primitive.
+        dcmt_w = ipw_weights(clicks, o_hat, floor)
+        np.testing.assert_array_equal(escm2_w, dcmt_w)
+        assert np.all(escm2_w[clicks == 0] == 0.0)
+        assert escm2_w[clicks == 1].max() <= 1.0 / floor + 1e-12
+
+    def test_escm2_clipping_is_the_shared_primitive(self, world, batch):
+        escm2 = build_model(
+            "escm2_ipw",
+            world.schema,
+            ModelConfig(embedding_dim=4, hidden_sizes=(8,), propensity_floor=0.05),
+        )
+        ctr = escm2.forward_tensors(batch)["ctr"]
+        np.testing.assert_array_equal(
+            escm2._clipped_propensity(ctr), clip_propensity(ctr.data, 0.05)
+        )

@@ -1,0 +1,300 @@
+"""The callback protocol: hook ordering, custom callbacks, LR scheduling.
+
+Marked ``callbacks`` (``make verify-callbacks`` runs just this lane).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.models import ModelConfig, build_model
+from repro.optim import ExponentialDecay, LinearWarmup, StepDecay
+from repro.reliability import FaultInjector, FaultSpec, LossGuardConfig
+from repro.training import TrainConfig, TrainingEngine
+from repro.training.callbacks import (
+    Callback,
+    FaultInjectionCallback,
+    LossGuardCallback,
+    LRSchedulerCallback,
+    ValidationCallback,
+)
+
+pytestmark = pytest.mark.callbacks
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, test, _ = load_scenario(
+        "ae_es", n_users=30, n_items=40, n_train=1000, n_test=300
+    )
+    return train, test
+
+
+@pytest.fixture
+def model(world):
+    train, _ = world
+    return build_model(
+        "dcmt", train.schema, ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+    )
+
+
+def make_config(**overrides):
+    base = dict(epochs=2, batch_size=256, learning_rate=0.01, seed=3)
+    base.update(overrides)
+    return TrainConfig(**base)
+
+
+class Recorder(Callback):
+    """Appends every hook invocation to a shared trace."""
+
+    def __init__(self, trace, name="recorder"):
+        self.trace = trace
+        self.name = name
+
+    def _note(self, hook):
+        self.trace.append((self.name, hook))
+
+    def on_fit_start(self, ctx):
+        self._note("fit_start")
+
+    def on_epoch_start(self, ctx):
+        self._note("epoch_start")
+
+    def on_batch_start(self, ctx):
+        self._note("batch_start")
+
+    def on_loss_computed(self, ctx):
+        self._note("loss_computed")
+
+    def on_backward_end(self, ctx):
+        self._note("backward_end")
+
+    def on_batch_end(self, ctx):
+        self._note("batch_end")
+
+    def on_epoch_end(self, ctx):
+        self._note("epoch_end")
+
+    def on_fit_end(self, ctx):
+        self._note("fit_end")
+
+
+class TestHookProtocol:
+    def test_hook_ordering_and_counts(self, world, model):
+        train, _ = world
+        trace = []
+        config = make_config()
+        engine = TrainingEngine(model, config, callbacks=[Recorder(trace)])
+        engine.fit(train)
+
+        hooks = [h for _, h in trace]
+        n_batches = -(-len(train) // config.batch_size)  # ceil div
+        assert hooks[0] == "fit_start"
+        assert hooks[-1] == "fit_end"
+        assert hooks.count("epoch_start") == config.epochs
+        assert hooks.count("epoch_end") == config.epochs
+        assert hooks.count("batch_start") == config.epochs * n_batches
+        assert hooks.count("batch_end") == config.epochs * n_batches
+        # Per-batch sequence is start -> loss -> backward -> end.
+        first_batch = hooks[2:6]
+        assert first_batch == [
+            "batch_start",
+            "loss_computed",
+            "backward_end",
+            "batch_end",
+        ]
+        # Epoch boundaries: epoch_end precedes the next epoch_start.
+        assert hooks.index("epoch_end") < len(hooks) - 1 - hooks[::-1].index(
+            "epoch_start"
+        )
+
+    def test_registration_order_within_hook(self, world, model):
+        train, _ = world
+        trace = []
+        engine = TrainingEngine(
+            model,
+            make_config(epochs=1),
+            callbacks=[Recorder(trace, "a"), Recorder(trace, "b")],
+        )
+        engine.fit(train)
+        starts = [name for name, hook in trace if hook == "fit_start"]
+        assert starts == ["a", "b"]
+
+    def test_skip_step_vetoes_batch(self, world, model):
+        """A veto in on_loss_computed suppresses the step and batch_end."""
+        train, _ = world
+
+        class VetoSecond(Callback):
+            def __init__(self):
+                self.vetoed = 0
+
+            def on_loss_computed(self, ctx):
+                if ctx.batch_index == 1:
+                    ctx.skip_step = True
+                    self.vetoed += 1
+
+        trace = []
+        veto = VetoSecond()
+        config = make_config(epochs=1)
+        engine = TrainingEngine(
+            model, config, callbacks=[veto, Recorder(trace)]
+        )
+        engine.fit(train)
+        hooks = [h for _, h in trace]
+        n_batches = -(-len(train) // config.batch_size)
+        assert veto.vetoed == 1
+        assert hooks.count("batch_start") == n_batches
+        assert hooks.count("batch_end") == n_batches - 1
+        assert hooks.count("backward_end") == n_batches - 1
+
+    def test_custom_callback_sees_losses(self, world, model):
+        """The docs' custom-callback example: collect per-batch losses."""
+        train, _ = world
+
+        class LossTape(Callback):
+            def __init__(self):
+                self.losses = []
+
+            def on_loss_computed(self, ctx):
+                self.losses.append(ctx.loss_value)
+
+        tape = LossTape()
+        config = make_config(epochs=1)
+        history = TrainingEngine(model, config, callbacks=[tape]).fit(train)
+        n_batches = -(-len(train) // config.batch_size)
+        assert len(tape.losses) == n_batches
+        assert history.epoch_losses[0] == pytest.approx(np.mean(tape.losses))
+
+    def test_fit_level_callbacks_replace_engine_defaults(self, world, model):
+        train, _ = world
+        default_trace, fit_trace = [], []
+        engine = TrainingEngine(
+            model, make_config(epochs=1), callbacks=[Recorder(default_trace)]
+        )
+        engine.fit(train, callbacks=[Recorder(fit_trace)])
+        assert not default_trace
+        assert fit_trace
+
+
+class TestLRSchedulerCallback:
+    def test_epoch_interval_trajectory(self, world, model):
+        train, _ = world
+        config = make_config(epochs=3)
+        lrs = []
+
+        class LrTape(Callback):
+            def on_epoch_end(self, ctx):
+                lrs.append(ctx.optimizer.lr)
+
+        engine = TrainingEngine(
+            model,
+            config,
+            callbacks=[
+                LRSchedulerCallback(lambda opt: ExponentialDecay(opt, gamma=0.5)),
+                LrTape(),
+            ],
+        )
+        engine.fit(train)
+        # LrTape runs after the scheduler at each epoch end.
+        assert lrs == pytest.approx([0.005, 0.0025, 0.00125])
+
+    def test_batch_interval_trajectory(self, world, model):
+        train, _ = world
+        config = make_config(epochs=1)
+        n_batches = -(-len(train) // config.batch_size)
+        warmup = 2 * n_batches  # never finishes warming up in one epoch
+        engine = TrainingEngine(
+            model,
+            config,
+            callbacks=[
+                LRSchedulerCallback(
+                    lambda opt: LinearWarmup(opt, warmup_steps=warmup),
+                    interval="batch",
+                )
+            ],
+        )
+        engine.fit(train)
+        assert engine.optimizer.lr == pytest.approx(
+            config.learning_rate * n_batches / warmup
+        )
+
+    def test_prebuilt_scheduler_must_wrap_engine_optimizer(self, world, model):
+        train, _ = world
+        other = build_model(
+            "dcmt", train.schema, ModelConfig(embedding_dim=4, hidden_sizes=(8,))
+        )
+        foreign_engine = TrainingEngine(other, make_config())
+        scheduler = StepDecay(foreign_engine.optimizer, period=1)
+        engine = TrainingEngine(
+            model, make_config(), callbacks=[LRSchedulerCallback(scheduler)]
+        )
+        with pytest.raises(ValueError, match="different optimizer"):
+            engine.fit(train)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError, match="interval"):
+            LRSchedulerCallback(lambda opt: StepDecay(opt, period=1), interval="step")
+
+    def test_scheduler_with_tight_grad_clip_stays_finite(self, world, model):
+        """Schedulers compose with clip_global_norm in the step loop."""
+        train, _ = world
+        config = make_config(epochs=2, grad_clip=0.1)
+        history = TrainingEngine(
+            model,
+            config,
+            callbacks=[LRSchedulerCallback(lambda opt: StepDecay(opt, period=1))],
+        ).fit(train)
+        assert all(np.isfinite(x) for x in history.epoch_losses)
+        assert all(np.all(np.isfinite(p.data)) for p in model.parameters())
+
+    def test_guard_halving_survives_scheduler_step(self, world, model):
+        """ctx.lr_scale: the guard's decay multiplies the scheduled rate."""
+        train, _ = world
+        config = make_config(epochs=2)
+        engine = TrainingEngine(
+            model,
+            config,
+            callbacks=[
+                FaultInjectionCallback(
+                    FaultInjector(
+                        FaultSpec(nan_feature_rate=0.6, nan_fraction=0.5), seed=5
+                    )
+                ),
+                LossGuardCallback(LossGuardConfig()),
+                LRSchedulerCallback(lambda opt: ExponentialDecay(opt, gamma=0.5)),
+            ],
+        )
+        history = engine.fit(train)
+        trips = [e for e in history.events if e.action == "rollback_lr_halved"]
+        assert trips, "fault injection should trip the guard"
+        # Final lr = last scheduled rate x the cumulative guard decay.
+        scheduled = config.learning_rate * 0.5 ** len(history.epoch_losses)
+        expected = scheduled * 0.5 ** len(trips)
+        assert engine.optimizer.lr == pytest.approx(expected)
+
+
+class TestCheckpointMetadataProtocol:
+    def test_callback_metadata_lands_in_snapshot(self, world, model, tmp_path):
+        from repro.reliability.checkpoint import CheckpointManager
+        from repro.training.callbacks import CheckpointCallback
+
+        train, test = world
+
+        class TagContributor(Callback):
+            def checkpoint_metadata(self, ctx):
+                return {"experiment_tag": "callbacks-lane"}
+
+        engine = TrainingEngine(
+            model,
+            make_config(epochs=1),
+            callbacks=[
+                ValidationCallback(),
+                CheckpointCallback(tmp_path),
+                TagContributor(),
+            ],
+        )
+        engine.fit(train, validation=test)
+        manager = CheckpointManager(tmp_path, keep=1)
+        snapshot = manager.load(manager.latest())
+        assert snapshot.metadata["experiment_tag"] == "callbacks-lane"
+        assert snapshot.metadata["model_name"] == "dcmt"

@@ -1,0 +1,163 @@
+"""Golden parity: the engine reproduces the pre-refactor Trainer bit-exactly.
+
+``tests/training/data/engine_golden.json`` was captured from the
+monolithic ``Trainer.fit`` *before* it was decomposed into
+``TrainingEngine`` + callbacks.  These tests replay the exact same runs
+through the refactored code -- via the ``Trainer`` facade and via a raw
+engine with the default callback stack -- and demand identical epoch
+losses, validation AUCs, guard events, and final parameters (SHA-256
+over every weight array), both with the reliability/profiling stack
+fully armed and fully disabled, plus a bit-exact kill/resume leg.
+"""
+
+import hashlib
+import json
+import math
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.models import ModelConfig, build_model
+from repro.reliability import (
+    FaultInjector,
+    FaultSpec,
+    LossGuardConfig,
+    ReliabilityConfig,
+)
+from repro.training import Trainer, TrainConfig, TrainingEngine, default_callbacks
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "engine_golden.json"
+
+# Must match the capture script's setup exactly.
+MODEL_CONFIG = ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+TRAIN_CONFIG = TrainConfig(epochs=3, batch_size=256, learning_rate=0.01, seed=7)
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with GOLDEN_PATH.open() as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, test, _ = load_scenario(
+        "ae_es", n_users=40, n_items=50, n_train=2000, n_test=300
+    )
+    return train, test
+
+
+def param_digest(model):
+    h = hashlib.sha256()
+    state = model.state_dict()
+    for key in sorted(state):
+        arr = np.ascontiguousarray(state[key])
+        h.update(key.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def norm_events(events):
+    """NaN-tolerant event comparison (NaN != NaN under ==)."""
+    return [
+        {
+            k: (None if isinstance(v, float) and math.isnan(v) else v)
+            for k, v in e.items()
+        }
+        for e in events
+    ]
+
+
+def full_reliability(tmp_path):
+    return ReliabilityConfig(
+        checkpoint_dir=str(tmp_path),
+        checkpoint_every_n_batches=2,
+        guard=LossGuardConfig(),
+        fault_injector=FaultInjector(
+            FaultSpec(nan_feature_rate=0.2, nan_fraction=0.5), seed=3
+        ),
+        propensity_check_sample=256,
+    )
+
+
+def assert_matches(golden_leg, history, model):
+    assert history.epoch_losses == golden_leg["epoch_losses"]
+    assert history.validation_cvr_auc == golden_leg["validation_cvr_auc"]
+    got = norm_events([e.to_dict() for e in history.events])
+    assert got == norm_events(golden_leg["events"])
+    assert param_digest(model) == golden_leg["param_digest"]
+
+
+class TestGoldenParity:
+    def test_plain_run_via_facade(self, golden, world):
+        train, test = world
+        model = build_model("dcmt", train.schema, MODEL_CONFIG)
+        history = Trainer(model, TRAIN_CONFIG).fit(train, validation=test)
+        assert_matches(golden["plain"], history, model)
+
+    def test_plain_run_via_raw_engine(self, golden, world):
+        """The engine + default stack is the facade, minus the sugar."""
+        train, test = world
+        model = build_model("dcmt", train.schema, MODEL_CONFIG)
+        engine = TrainingEngine(
+            model, TRAIN_CONFIG, callbacks=default_callbacks(TRAIN_CONFIG, None)
+        )
+        history = engine.fit(train, validation=test)
+        assert_matches(golden["plain"], history, model)
+
+    def test_full_reliability_run(self, golden, world, tmp_path):
+        """Checkpoints + guard + faults + monitor + profiler armed."""
+        train, test = world
+        model = build_model("dcmt", train.schema, MODEL_CONFIG)
+        history = Trainer(
+            model,
+            TRAIN_CONFIG.with_overrides(profile_ops=True),
+            reliability=full_reliability(tmp_path),
+        ).fit(train, validation=test)
+        assert_matches(golden["full"], history, model)
+        ops = history.op_profile["ops"]
+        assert ops["backward"]["calls"] == golden["full"]["op_calls"]["backward"]
+        assert (
+            ops["optimizer.step"]["calls"]
+            == golden["full"]["op_calls"]["optimizer.step"]
+        )
+
+    def test_kill_and_resume_matches_plain_golden(self, golden, world, tmp_path):
+        """A checkpointed run killed mid-epoch, then resumed, lands on
+        the same parameters as the never-killed golden run."""
+        train, test = world
+        reliability = ReliabilityConfig(
+            checkpoint_dir=str(tmp_path), checkpoint_every_n_batches=2
+        )
+
+        class Killed(RuntimeError):
+            pass
+
+        doomed = build_model("dcmt", train.schema, MODEL_CONFIG)
+        trainer = Trainer(doomed, TRAIN_CONFIG, reliability=reliability)
+        real_step, calls = trainer.optimizer.step, [0]
+
+        def dying_step():
+            calls[0] += 1
+            if calls[0] > 11:
+                raise Killed
+            real_step()
+
+        trainer.optimizer.step = dying_step
+        with pytest.raises(Killed):
+            trainer.fit(train, validation=test)
+        assert list(Path(tmp_path).glob("*.ckpt"))
+
+        resumed = build_model(
+            "dcmt", train.schema, MODEL_CONFIG.with_overrides(seed=99)
+        )
+        history = Trainer(resumed, TRAIN_CONFIG, reliability=reliability).fit(
+            train, validation=test, resume_from=tmp_path
+        )
+        assert history.epoch_losses == golden["plain"]["epoch_losses"]
+        assert history.validation_cvr_auc == golden["plain"]["validation_cvr_auc"]
+        assert param_digest(resumed) == golden["plain"]["param_digest"]

@@ -162,6 +162,50 @@ class TestOpProfileIntegration:
         assert restored.op_profile == history.op_profile
         assert restored.epoch_losses == history.epoch_losses
 
+    def test_history_roundtrips_events(self):
+        """to_dict/from_dict are exact inverses, guard events included
+        (even a NaN loss value survives the trip)."""
+        from repro.reliability.guards import GuardEvent
+
+        history = TrainingHistory(
+            epoch_losses=[0.7, 0.5],
+            validation_cvr_auc=[0.61, 0.63],
+            stopped_early=True,
+            events=[
+                GuardEvent(
+                    epoch=0,
+                    batch=3,
+                    reason="non_finite_loss",
+                    value=float("nan"),
+                    action="rollback_lr_halved",
+                    lr_after=0.005,
+                ),
+                GuardEvent(
+                    epoch=1,
+                    batch=-1,
+                    reason="propensity_collapse",
+                    value=0.72,
+                    action="warn",
+                ),
+            ],
+            op_profile={"ops": {"backward": {"calls": 4}}},
+        )
+        restored = TrainingHistory.from_dict(history.to_dict())
+        assert restored.epoch_losses == history.epoch_losses
+        assert restored.validation_cvr_auc == history.validation_cvr_auc
+        assert restored.stopped_early is True
+        assert restored.op_profile == history.op_profile
+        assert len(restored.events) == 2
+        for got, want in zip(restored.events, history.events):
+            assert got.epoch == want.epoch
+            assert got.batch == want.batch
+            assert got.reason == want.reason
+            assert got.action == want.action
+            assert got.lr_after == want.lr_after
+            assert got.value == want.value or (
+                np.isnan(got.value) and np.isnan(want.value)
+            )
+
 
 class TestEvaluation:
     def test_full_metric_set_with_oracle(self, world, model):
