@@ -1,6 +1,6 @@
 # Convenience targets for the DCMT reproduction.
 
-.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks
+.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,8 +18,9 @@ lint:
 		echo "ruff not installed; skipping lint"; \
 	fi
 
-# The CI gate: lint plus the full tier-1 suite from a clean checkout.
-verify: lint
+# The CI gate: lint, the robustness and ingest lanes, then the full
+# tier-1 suite from a clean checkout -- every PR runs all of it.
+verify: lint verify-robustness verify-ingest
 	PYTHONPATH=src python -m pytest -x -q tests/
 
 # Every test tagged `robustness`: degenerate-batch hardening plus the
@@ -27,6 +28,11 @@ verify: lint
 # Works from a clean checkout (no install needed).
 verify-robustness:
 	PYTHONPATH=src pytest -m robustness tests/
+
+# Every test tagged `ingest`: the dirty-data quarantine pipeline
+# (classification, repair policies, error budget, report provenance).
+verify-ingest:
+	PYTHONPATH=src pytest -m ingest tests/
 
 # Every test tagged `callbacks`: the training-engine hook protocol
 # (ordering, vetoes, LR scheduling, checkpoint metadata).

@@ -28,8 +28,24 @@ from repro.data.scenarios import (
 )
 from repro.data.batching import batch_iterator
 from repro.data.stats import DatasetStatistics, dataset_statistics
+from repro.data.ingest import (
+    IngestBudgetError,
+    IngestPolicy,
+    IngestReport,
+    IngestResult,
+    QuarantineStore,
+    QuarantinedRow,
+    load_csv_dataset_quarantined,
+)
 
 __all__ = [
+    "IngestBudgetError",
+    "IngestPolicy",
+    "IngestReport",
+    "IngestResult",
+    "QuarantineStore",
+    "QuarantinedRow",
+    "load_csv_dataset_quarantined",
     "SparseFeature",
     "DenseFeature",
     "FeatureSchema",

@@ -1,0 +1,437 @@
+"""Quarantine ingestion: survive dirty exposure logs instead of aborting.
+
+:func:`repro.data.loaders.load_csv_dataset` is the *strict* path: it
+raises on the first malformed row, which is the right contract for
+curated benchmark files and exactly the wrong one for production logs,
+where some fraction of rows is always broken (truncated writes, join
+bugs emitting NaN, attribution glitches recording conversions without
+clicks).  This module is the forgiving path:
+
+* every data row is **classified** -- malformed cell counts, non-0/1
+  labels, conversion-without-click inconsistencies, unparseable or
+  NaN/Inf dense values, and (under a frozen vocabulary) out-of-vocab
+  ids;
+* bad rows are routed to a :class:`QuarantineStore` carrying per-reason
+  counts and row provenance (file line numbers plus the raw cells);
+* configurable **repair policies** rescue what is rescuable -- impute
+  or clip bad dense values, zero inconsistent conversions, bucket OOV
+  ids -- while structurally broken rows are dropped;
+* an **error budget** bounds the tolerable corruption: the load aborts
+  with a structured :class:`IngestBudgetError` (report attached) only
+  when the corrupt fraction exceeds ``IngestPolicy.error_budget``.
+
+The classification pass runs *before* vocabulary indexing, so dropped
+rows never claim ids: with all-``drop`` policies the resulting dataset
+is bit-identical to loading only the clean rows through the strict
+loader, and therefore trains to identical metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.data.loaders import (
+    ColumnSpec,
+    VocabularyMaps,
+    _guess_group,
+    _read_rows,
+    hash_feature,
+)
+from repro.data.schema import DenseFeature, FeatureSchema, SparseFeature
+from repro.utils.logging import get_logger, log_event
+
+logger = get_logger("data.ingest")
+
+# -- quarantine reasons ------------------------------------------------
+#: Row has the wrong number of cells (truncated/overlong record).
+MALFORMED_ROW = "malformed_row"
+#: Click or conversion label is not a literal "0"/"1".
+BAD_LABEL = "bad_label"
+#: Conversion recorded without a click (violates exposure->click->buy).
+LABEL_INCONSISTENCY = "label_inconsistency"
+#: Dense value is unparseable, NaN, or infinite.
+BAD_DENSE = "bad_dense"
+#: Sparse id unseen by a frozen vocabulary.
+OOV_ID = "oov_id"
+
+QUARANTINE_REASONS = (
+    MALFORMED_ROW,
+    BAD_LABEL,
+    LABEL_INCONSISTENCY,
+    BAD_DENSE,
+    OOV_ID,
+)
+
+
+@dataclass(frozen=True)
+class IngestPolicy:
+    """Error budget and per-reason repair policies.
+
+    ``malformed_row`` and ``bad_label`` rows are always dropped (their
+    structure is lost); the other three reasons are repairable:
+
+    * ``on_bad_dense``: ``"impute"`` replaces the value with
+      ``dense_default``, ``"clip"`` maps ±inf to ±``dense_clip`` (NaN
+      and unparseable cells still fall back to ``dense_default``),
+      ``"drop"`` discards the row;
+    * ``on_label_inconsistency``: ``"repair"`` zeroes the conversion
+      (the click label is trusted), ``"drop"`` discards the row;
+    * ``on_oov_id``: ``"impute"`` routes the id to the shared OOV
+      bucket (id 0), ``"drop"`` discards the row.
+
+    The **corrupt fraction** counts every row with at least one defect
+    -- repaired rows included, because a repaired row is still evidence
+    of an upstream problem.  Loads whose corrupt fraction exceeds
+    ``error_budget`` abort with :class:`IngestBudgetError`.
+    """
+
+    error_budget: float = 0.25
+    on_bad_dense: str = "impute"
+    on_label_inconsistency: str = "drop"
+    on_oov_id: str = "impute"
+    dense_default: float = 0.0
+    dense_clip: float = 1e6
+    max_examples_per_reason: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.error_budget <= 1.0:
+            raise ValueError(
+                f"error_budget must be in [0, 1], got {self.error_budget}"
+            )
+        if self.on_bad_dense not in ("drop", "impute", "clip"):
+            raise ValueError(
+                f"on_bad_dense must be drop/impute/clip, got {self.on_bad_dense!r}"
+            )
+        if self.on_label_inconsistency not in ("drop", "repair"):
+            raise ValueError(
+                "on_label_inconsistency must be drop/repair, got "
+                f"{self.on_label_inconsistency!r}"
+            )
+        if self.on_oov_id not in ("drop", "impute"):
+            raise ValueError(
+                f"on_oov_id must be drop/impute, got {self.on_oov_id!r}"
+            )
+        if not math.isfinite(self.dense_default):
+            raise ValueError("dense_default must be finite")
+        if not self.dense_clip > 0:
+            raise ValueError(f"dense_clip must be > 0, got {self.dense_clip}")
+        if self.max_examples_per_reason < 0:
+            raise ValueError("max_examples_per_reason must be >= 0")
+
+
+@dataclass(frozen=True)
+class QuarantinedRow:
+    """Provenance of one quarantined row."""
+
+    #: 1-based file line number (the header is line 1).
+    line: int
+    #: Defect reasons, deduplicated, in detection order.
+    reasons: Tuple[str, ...]
+    #: ``"dropped"`` or ``"repaired"``.
+    action: str
+    #: Raw cells as read from the file.
+    raw: Tuple[str, ...]
+
+
+class QuarantineStore:
+    """Holds every quarantined row with per-reason counts."""
+
+    def __init__(self) -> None:
+        self.rows: List[QuarantinedRow] = []
+        self.counts: Dict[str, int] = {}
+
+    def add(
+        self, line: int, reasons: Sequence[str], action: str, raw: Sequence[str]
+    ) -> None:
+        reasons = tuple(dict.fromkeys(reasons))
+        self.rows.append(QuarantinedRow(line, reasons, action, tuple(raw)))
+        for reason in reasons:
+            self.counts[reason] = self.counts.get(reason, 0) + 1
+
+    @property
+    def n_dropped(self) -> int:
+        return sum(1 for r in self.rows if r.action == "dropped")
+
+    @property
+    def n_repaired(self) -> int:
+        return sum(1 for r in self.rows if r.action == "repaired")
+
+    def examples(self, reason: str, k: int) -> List[QuarantinedRow]:
+        """First ``k`` quarantined rows exhibiting ``reason``."""
+        out = [r for r in self.rows if reason in r.reasons]
+        return out[:k]
+
+    def dump_jsonl(self, path: "Path | str") -> Path:
+        """Write one JSON object per quarantined row (forensics file)."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            for row in self.rows:
+                handle.write(
+                    json.dumps(
+                        {
+                            "line": row.line,
+                            "reasons": list(row.reasons),
+                            "action": row.action,
+                            "raw": list(row.raw),
+                        }
+                    )
+                    + "\n"
+                )
+        return path
+
+
+@dataclass
+class IngestReport:
+    """Structured summary of one quarantine-path load."""
+
+    path: str
+    total_rows: int
+    loaded_rows: int
+    dropped_rows: int
+    repaired_rows: int
+    reason_counts: Dict[str, int]
+    error_budget: float
+    #: Up to ``max_examples_per_reason`` file line numbers per reason.
+    examples: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def corrupt_fraction(self) -> float:
+        """Fraction of data rows with at least one defect."""
+        if self.total_rows == 0:
+            return 0.0
+        return (self.dropped_rows + self.repaired_rows) / self.total_rows
+
+    def to_dict(self) -> Dict:
+        return {
+            "path": self.path,
+            "total_rows": self.total_rows,
+            "loaded_rows": self.loaded_rows,
+            "dropped_rows": self.dropped_rows,
+            "repaired_rows": self.repaired_rows,
+            "corrupt_fraction": self.corrupt_fraction,
+            "error_budget": self.error_budget,
+            "reason_counts": dict(self.reason_counts),
+            "examples": {k: list(v) for k, v in self.examples.items()},
+        }
+
+
+class IngestBudgetError(ValueError):
+    """Corrupt fraction exceeded the error budget; the report rides along."""
+
+    def __init__(self, report: IngestReport) -> None:
+        self.report = report
+        super().__init__(
+            f"{report.path}: corrupt fraction "
+            f"{report.corrupt_fraction:.3f} exceeds error budget "
+            f"{report.error_budget:.3f} "
+            f"(reasons: {dict(sorted(report.reason_counts.items()))})"
+        )
+
+
+@dataclass
+class IngestResult:
+    """Everything one quarantine-path load produces."""
+
+    dataset: InteractionDataset
+    vocabularies: VocabularyMaps
+    dense_stats: Dict[str, Tuple[float, float]]
+    report: IngestReport
+    quarantine: QuarantineStore
+
+
+def _parse_dense(raw: str) -> float:
+    try:
+        return float(raw)
+    except ValueError:
+        return float("nan")
+
+
+def load_csv_dataset_quarantined(
+    path: "Path | str",
+    spec: Optional[ColumnSpec] = None,
+    policy: Optional[IngestPolicy] = None,
+    vocabularies: Optional[VocabularyMaps] = None,
+    freeze_vocabulary: bool = False,
+    name: Optional[str] = None,
+    dense_stats: Optional[Dict[str, Tuple[float, float]]] = None,
+) -> IngestResult:
+    """Load one CSV exposure log through the quarantine path.
+
+    File-level problems (missing file, empty file, missing label or
+    dense columns, duplicate header columns) still raise immediately --
+    those are schema errors, not row corruption.  Row-level defects are
+    classified, repaired or dropped per ``policy``, and reported.
+
+    Returns an :class:`IngestResult`; raises :class:`IngestBudgetError`
+    when the corrupt fraction exceeds ``policy.error_budget``.
+    """
+    path = Path(path)
+    spec = spec or ColumnSpec()
+    policy = policy or IngestPolicy()
+    vocabularies = vocabularies or VocabularyMaps()
+    header, rows = _read_rows(path)
+
+    for required in (spec.click_column, spec.conversion_column):
+        if required not in header:
+            raise ValueError(f"{path}: missing required column {required!r}")
+    label_columns = {spec.click_column, spec.conversion_column}
+    dense_columns = [c for c in spec.dense_features if c in header]
+    missing_dense = set(spec.dense_features) - set(header)
+    if missing_dense:
+        raise ValueError(f"{path}: missing dense columns {sorted(missing_dense)}")
+    sparse_columns = [
+        c for c in header if c not in label_columns and c not in dense_columns
+    ]
+    column_index = {c: i for i, c in enumerate(header)}
+
+    # -- pass 1: classify and repair, *before* any vocabulary indexing,
+    # so dropped rows never claim ids.
+    store = QuarantineStore()
+    kept: List[Tuple[int, int, Dict[str, float], List[str]]] = []
+    for i, row in enumerate(rows):
+        line = i + 2
+        if len(row) != len(header):
+            store.add(line, (MALFORMED_ROW,), "dropped", row)
+            continue
+        reasons: List[str] = []
+
+        click_raw = row[column_index[spec.click_column]]
+        conv_raw = row[column_index[spec.conversion_column]]
+        if click_raw not in ("0", "1") or conv_raw not in ("0", "1"):
+            store.add(line, (BAD_LABEL,), "dropped", row)
+            continue
+        click, conversion = int(click_raw), int(conv_raw)
+        if conversion == 1 and click == 0:
+            if policy.on_label_inconsistency == "drop":
+                store.add(line, (LABEL_INCONSISTENCY,), "dropped", row)
+                continue
+            conversion = 0  # trust the click label (repair)
+            reasons.append(LABEL_INCONSISTENCY)
+
+        dense_values: Dict[str, float] = {}
+        drop_row = False
+        for c in dense_columns:
+            value = _parse_dense(row[column_index[c]])
+            if math.isfinite(value):
+                dense_values[c] = value
+                continue
+            reasons.append(BAD_DENSE)
+            if policy.on_bad_dense == "drop":
+                drop_row = True
+                break
+            if policy.on_bad_dense == "clip" and math.isinf(value):
+                dense_values[c] = math.copysign(policy.dense_clip, value)
+            else:
+                dense_values[c] = policy.dense_default
+        if drop_row:
+            store.add(line, reasons, "dropped", row)
+            continue
+
+        if freeze_vocabulary:
+            oov = [
+                c
+                for c in sparse_columns
+                if c not in spec.hash_buckets
+                and row[column_index[c]] not in vocabularies.maps.get(c, {})
+            ]
+            if oov:
+                reasons.append(OOV_ID)
+                if policy.on_oov_id == "drop":
+                    store.add(line, reasons, "dropped", row)
+                    continue
+                # "impute": the indexing pass below routes unseen ids to
+                # the shared OOV bucket (id 0) -- counted, not silent.
+
+        if reasons:
+            store.add(line, reasons, "repaired", row)
+        kept.append((click, conversion, dense_values, row))
+
+    report = IngestReport(
+        path=str(path),
+        total_rows=len(rows),
+        loaded_rows=len(kept),
+        dropped_rows=store.n_dropped,
+        repaired_rows=store.n_repaired,
+        reason_counts=dict(store.counts),
+        error_budget=policy.error_budget,
+        examples={
+            reason: [
+                r.line for r in store.examples(reason, policy.max_examples_per_reason)
+            ]
+            for reason in store.counts
+        },
+    )
+    log_event(
+        logger,
+        "ingest_report",
+        path=str(path),
+        total=report.total_rows,
+        loaded=report.loaded_rows,
+        dropped=report.dropped_rows,
+        repaired=report.repaired_rows,
+        corrupt_fraction=report.corrupt_fraction,
+        budget=policy.error_budget,
+    )
+    if report.corrupt_fraction > policy.error_budget:
+        raise IngestBudgetError(report)
+
+    # -- pass 2: build arrays from the survivors (strict-loader logic).
+    n = len(kept)
+    clicks = np.zeros(n, dtype=np.int64)
+    conversions = np.zeros(n, dtype=np.int64)
+    sparse: Dict[str, np.ndarray] = {
+        c: np.zeros(n, dtype=np.int64) for c in sparse_columns
+    }
+    dense: Dict[str, np.ndarray] = {
+        c: np.zeros(n, dtype=np.float64) for c in dense_columns
+    }
+    for j, (click, conversion, dense_values, row) in enumerate(kept):
+        clicks[j] = click
+        conversions[j] = conversion
+        for c in sparse_columns:
+            raw = row[column_index[c]]
+            if c in spec.hash_buckets:
+                sparse[c][j] = hash_feature(raw, spec.hash_buckets[c])
+            else:
+                sparse[c][j] = vocabularies.index(c, raw, frozen=freeze_vocabulary)
+        for c in dense_columns:
+            dense[c][j] = dense_values[c]
+
+    if dense_stats is None:
+        dense_stats = {
+            c: ((float(v.mean()), float(v.std()) or 1.0) if n else (0.0, 1.0))
+            for c, v in dense.items()
+        }
+    for c, values in dense.items():
+        mean, std = dense_stats[c]
+        dense[c] = (values - mean) / std
+
+    schema = FeatureSchema(
+        sparse=[
+            SparseFeature(
+                c,
+                spec.hash_buckets.get(c, vocabularies.vocab_size(c)),
+                group=_guess_group(c, spec),
+                kind="wide" if c in spec.wide_features else "deep",
+            )
+            for c in sparse_columns
+        ],
+        dense=[DenseFeature(c, dim=1) for c in dense_columns],
+    )
+    dataset = InteractionDataset(
+        name=name or path.stem,
+        schema=schema,
+        sparse=sparse,
+        dense=dense,
+        clicks=clicks,
+        conversions=conversions,
+    )
+    return IngestResult(dataset, vocabularies, dense_stats, report, store)

@@ -95,9 +95,35 @@ def _read_rows(path: Path) -> Tuple[List[str], List[List[str]]]:
         try:
             header = next(reader)
         except StopIteration:
-            raise ValueError(f"{path}: empty file") from None
+            raise ValueError(f"{path}: empty file (no header row)") from None
+        seen: Dict[str, int] = {}
+        for position, column in enumerate(header):
+            if not column:
+                raise ValueError(
+                    f"{path}: header has an empty column name at position {position}"
+                )
+            if column in seen:
+                raise ValueError(
+                    f"{path}: duplicate column {column!r} "
+                    f"(positions {seen[column]} and {position})"
+                )
+            seen[column] = position
         rows = [row for row in reader if row]
     return header, rows
+
+
+def _ragged_row_error(
+    path: Path, row_index: int, header: List[str], row: List[str]
+) -> ValueError:
+    """Cell-count mismatch, naming the columns that are missing."""
+    if len(row) < len(header):
+        detail = f"; missing columns {header[len(row):]}"
+    else:
+        detail = f"; {len(row) - len(header)} cells beyond column {header[-1]!r}"
+    return ValueError(
+        f"{path}:{row_index + 2}: expected {len(header)} cells, "
+        f"got {len(row)}{detail}"
+    )
 
 
 def load_csv_dataset(
@@ -160,12 +186,15 @@ def load_csv_dataset(
 
     for i, row in enumerate(rows):
         if len(row) != len(header):
-            raise ValueError(
-                f"{path}:{i + 2}: expected {len(header)} cells, got {len(row)}"
-            )
-        clicks[i] = _parse_binary(row[column_index[spec.click_column]], path, i)
+            raise _ragged_row_error(path, i, header, row)
+        clicks[i] = _parse_binary(
+            row[column_index[spec.click_column]], path, i, spec.click_column
+        )
         conversions[i] = _parse_binary(
-            row[column_index[spec.conversion_column]], path, i
+            row[column_index[spec.conversion_column]],
+            path,
+            i,
+            spec.conversion_column,
         )
         for c in sparse_columns:
             raw = row[column_index[c]]
@@ -176,7 +205,14 @@ def load_csv_dataset(
                     c, raw, frozen=freeze_vocabulary
                 )
         for c in dense_columns:
-            dense[c][i] = float(row[column_index[c]])
+            raw = row[column_index[c]]
+            try:
+                dense[c][i] = float(raw)
+            except ValueError:
+                raise ValueError(
+                    f"{path}:{i + 2}: column {c!r}: could not parse dense "
+                    f"value {raw!r}"
+                ) from None
 
     if np.any((conversions == 1) & (clicks == 0)):
         raise ValueError(
@@ -263,9 +299,12 @@ def export_csv_dataset(dataset: InteractionDataset, path: "Path | str") -> Path:
     return path
 
 
-def _parse_binary(value: str, path: Path, row: int) -> int:
+def _parse_binary(value: str, path: Path, row: int, column: str) -> int:
     if value not in ("0", "1"):
-        raise ValueError(f"{path}:{row + 2}: labels must be 0/1, got {value!r}")
+        raise ValueError(
+            f"{path}:{row + 2}: column {column!r}: labels must be 0/1, "
+            f"got {value!r}"
+        )
     return int(value)
 
 

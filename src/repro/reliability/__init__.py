@@ -16,6 +16,12 @@ failures survivable:
   by tests to prove the guards fire;
 * :mod:`~repro.reliability.circuit` -- the circuit breaker behind
   :class:`~repro.simulation.serving.RankingService`'s fallback chain;
+* :mod:`~repro.reliability.drift` -- PSI/KS sentinels comparing
+  serving-time feature/propensity/CVR distributions against a frozen
+  training reference;
+* :mod:`~repro.reliability.health` -- the HEALTHY -> DEGRADED ->
+  SHEDDING state machine driven by the breaker, the sentinels, and the
+  admission-queue depth together;
 * :mod:`~repro.reliability.errors` -- the shared exception taxonomy.
 """
 
@@ -28,13 +34,35 @@ from repro.reliability.checkpoint import (
     verify_snapshot,
 )
 from repro.reliability.circuit import CircuitBreaker
-from repro.reliability.config import ReliabilityConfig, ServingPolicy
+from repro.reliability.config import (
+    AdmissionPolicy,
+    ReliabilityConfig,
+    ServingPolicy,
+)
+from repro.reliability.drift import (
+    DriftMonitor,
+    DriftReference,
+    DriftSentinel,
+    DriftThresholds,
+    ReferenceDistribution,
+    ks_statistic,
+    population_stability_index,
+)
 from repro.reliability.errors import (
     CheckpointCorruptError,
     DivergenceError,
     PropensityCollapseWarning,
     ReliabilityError,
+    RequestShedError,
     ScoringUnavailableError,
+)
+from repro.reliability.health import (
+    DEGRADED,
+    HEALTHY,
+    SHEDDING,
+    HealthMonitor,
+    HealthPolicy,
+    HealthTransition,
 )
 from repro.reliability.faults import FaultInjector, FaultRecord, FaultSpec
 from repro.reliability.guards import (
@@ -46,7 +74,22 @@ from repro.reliability.guards import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
     "ChaosScoring",
+    "DriftMonitor",
+    "DriftReference",
+    "DriftSentinel",
+    "DriftThresholds",
+    "ReferenceDistribution",
+    "ks_statistic",
+    "population_stability_index",
+    "RequestShedError",
+    "HEALTHY",
+    "DEGRADED",
+    "SHEDDING",
+    "HealthMonitor",
+    "HealthPolicy",
+    "HealthTransition",
     "CheckpointManager",
     "TrainingSnapshot",
     "load_snapshot",

@@ -81,6 +81,10 @@ class ServingPolicy:
     breaker_failure_threshold: int = 5
     #: Seconds the breaker stays open before a half-open probe.
     breaker_recovery_time: float = 30.0
+    #: Default per-request deadline in seconds (None: no deadline).
+    #: Once the budget is spent, remaining primary retries are skipped
+    #: and the request rides the fallback chain immediately.
+    deadline_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -101,3 +105,31 @@ class ServingPolicy:
                 "breaker_recovery_time must be >= 0, got "
                 f"{self.breaker_recovery_time}"
             )
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError(
+                f"deadline_s must be > 0 or None, got {self.deadline_s}"
+            )
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Bounded admission queue in front of :class:`RankingService`.
+
+    The queue is a depth counter standing in for the request queue of a
+    real server: every in-flight request holds one slot, a full queue
+    sheds arrivals outright, and while the health state machine reports
+    SHEDDING only every ``shed_stride``-th request is admitted (a
+    deterministic load-shedding pattern that still lets circuit-breaker
+    probes through, so the service can recover).
+    """
+
+    max_queue_depth: int = 64
+    shed_stride: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_queue_depth < 1:
+            raise ValueError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}"
+            )
+        if self.shed_stride < 1:
+            raise ValueError(f"shed_stride must be >= 1, got {self.shed_stride}")

@@ -1,0 +1,351 @@
+"""Drift sentinels: PSI/KS monitors against a frozen training reference.
+
+DCMT's inverse-propensity weights ``1/o_hat`` (Eq. (8)-(9), clipped per
+Eq. (13)) are calibrated against the *training* propensity
+distribution.  When the serving-time distribution of features,
+propensities, or predicted CVRs drifts away from that reference, the
+weights silently blow up or the calibration silently rots -- neither
+failure throws an exception.  This module turns the drift into a
+signal:
+
+* :class:`DriftReference` -- a frozen snapshot of the training-time
+  distributions (per-dense-feature histograms plus the model's
+  ``o_hat`` and CVR prediction histograms), captured once after
+  training and serializable to JSON;
+* :class:`DriftMonitor` -- one tracked quantity: a sliding window of
+  serving-time observations compared to its reference bin-by-bin with
+  the population stability index (PSI) and a histogram-based
+  Kolmogorov-Smirnov statistic;
+* :class:`DriftSentinel` -- the bundle of monitors a
+  :class:`~repro.simulation.serving.RankingService` consults; per-monitor
+  and overall status is ``ok`` / ``warn`` / ``trip``.
+
+Everything is deterministic: fixed bin edges from the reference, a
+bounded deque window, no wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+import numpy as np
+
+#: Monitor statuses, in escalating severity.
+STATUS_OK = "ok"
+STATUS_WARN = "warn"
+STATUS_TRIP = "trip"
+_SEVERITY = {STATUS_OK: 0, STATUS_WARN: 1, STATUS_TRIP: 2}
+
+
+def population_stability_index(
+    expected: np.ndarray, actual: np.ndarray, eps: float = 1e-4
+) -> float:
+    """PSI between two histograms over identical bins.
+
+    Bin shares are floored at ``eps`` (then renormalised) so empty bins
+    do not produce infinities; < 0.1 is conventionally stable, 0.1-0.25
+    moderate shift, > 0.25 a significant shift.
+    """
+    expected = np.asarray(expected, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if expected.shape != actual.shape:
+        raise ValueError(
+            f"histogram shapes differ: {expected.shape} vs {actual.shape}"
+        )
+    e = np.clip(expected / max(expected.sum(), 1e-12), eps, None)
+    a = np.clip(actual / max(actual.sum(), 1e-12), eps, None)
+    e /= e.sum()
+    a /= a.sum()
+    return float(np.sum((a - e) * np.log(a / e)))
+
+
+def ks_statistic(expected: np.ndarray, actual: np.ndarray) -> float:
+    """Max CDF gap between two histograms over identical bins."""
+    expected = np.asarray(expected, dtype=float)
+    actual = np.asarray(actual, dtype=float)
+    if expected.shape != actual.shape:
+        raise ValueError(
+            f"histogram shapes differ: {expected.shape} vs {actual.shape}"
+        )
+    e = np.cumsum(expected) / max(expected.sum(), 1e-12)
+    a = np.cumsum(actual) / max(actual.sum(), 1e-12)
+    return float(np.max(np.abs(e - a)))
+
+
+@dataclass
+class ReferenceDistribution:
+    """A frozen histogram of one quantity (fixed edges + counts)."""
+
+    name: str
+    edges: np.ndarray
+    counts: np.ndarray
+
+    @classmethod
+    def from_samples(
+        cls,
+        name: str,
+        values: np.ndarray,
+        bins: int = 10,
+        value_range: Optional[tuple] = None,
+    ) -> "ReferenceDistribution":
+        values = np.asarray(values, dtype=float)
+        values = values[np.isfinite(values)]
+        if values.size == 0:
+            raise ValueError(f"{name}: no finite reference samples")
+        if value_range is None:
+            lo, hi = float(values.min()), float(values.max())
+            if lo == hi:  # degenerate column: widen so histogram works
+                lo, hi = lo - 0.5, hi + 0.5
+        else:
+            lo, hi = float(value_range[0]), float(value_range[1])
+        edges = np.linspace(lo, hi, bins + 1)
+        counts, _ = np.histogram(np.clip(values, lo, hi), bins=edges)
+        return cls(name=name, edges=edges, counts=counts.astype(float))
+
+    def histogram(self, values: np.ndarray) -> np.ndarray:
+        """Bin serving-time values with the frozen reference edges.
+
+        Out-of-range values are clipped into the edge bins, so a shift
+        beyond the training support piles up at the boundary -- exactly
+        the signature PSI is most sensitive to.
+        """
+        values = np.asarray(values, dtype=float)
+        values = values[np.isfinite(values)]
+        clipped = np.clip(values, self.edges[0], self.edges[-1])
+        counts, _ = np.histogram(clipped, bins=self.edges)
+        return counts.astype(float)
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "edges": [float(e) for e in self.edges],
+            "counts": [float(c) for c in self.counts],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "ReferenceDistribution":
+        return cls(
+            name=payload["name"],
+            edges=np.asarray(payload["edges"], dtype=float),
+            counts=np.asarray(payload["counts"], dtype=float),
+        )
+
+
+@dataclass(frozen=True)
+class DriftThresholds:
+    """Warn/trip levels for both statistics, plus a sample floor."""
+
+    psi_warn: float = 0.10
+    psi_trip: float = 0.25
+    ks_warn: float = 0.10
+    ks_trip: float = 0.20
+    #: Monitors report ``ok`` until this many observations accumulate
+    #: (small windows make both statistics pure noise).
+    min_samples: int = 100
+
+    def __post_init__(self) -> None:
+        if not 0 < self.psi_warn <= self.psi_trip:
+            raise ValueError("need 0 < psi_warn <= psi_trip")
+        if not 0 < self.ks_warn <= self.ks_trip:
+            raise ValueError("need 0 < ks_warn <= ks_trip")
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+
+
+class DriftMonitor:
+    """Sliding-window drift statistics for one quantity."""
+
+    def __init__(
+        self,
+        reference: ReferenceDistribution,
+        thresholds: Optional[DriftThresholds] = None,
+        window: int = 2048,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.reference = reference
+        self.thresholds = thresholds or DriftThresholds()
+        self._buffer: deque = deque(maxlen=window)
+
+    @property
+    def n_observed(self) -> int:
+        return len(self._buffer)
+
+    def observe(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float).ravel()
+        self._buffer.extend(values[np.isfinite(values)].tolist())
+
+    def reset(self) -> None:
+        self._buffer.clear()
+
+    def psi(self) -> float:
+        if not self._buffer:
+            return 0.0
+        return population_stability_index(
+            self.reference.counts, self.reference.histogram(np.array(self._buffer))
+        )
+
+    def ks(self) -> float:
+        if not self._buffer:
+            return 0.0
+        return ks_statistic(
+            self.reference.counts, self.reference.histogram(np.array(self._buffer))
+        )
+
+    def status(self) -> str:
+        t = self.thresholds
+        if self.n_observed < t.min_samples:
+            return STATUS_OK
+        psi, ks = self.psi(), self.ks()
+        if psi >= t.psi_trip or ks >= t.ks_trip:
+            return STATUS_TRIP
+        if psi >= t.psi_warn or ks >= t.ks_warn:
+            return STATUS_WARN
+        return STATUS_OK
+
+    def snapshot(self) -> Dict:
+        return {
+            "name": self.reference.name,
+            "n": self.n_observed,
+            "psi": self.psi(),
+            "ks": self.ks(),
+            "status": self.status(),
+        }
+
+
+@dataclass
+class DriftReference:
+    """Frozen training-time distributions for every monitored quantity."""
+
+    dense: Dict[str, ReferenceDistribution]
+    propensity: ReferenceDistribution
+    cvr: ReferenceDistribution
+
+    @classmethod
+    def capture(
+        cls,
+        model,
+        dataset,
+        sample: int = 2048,
+        bins: int = 10,
+        seed: int = 0,
+    ) -> "DriftReference":
+        """Snapshot a trained model against (a sample of) its train set.
+
+        Dense feature histograms come straight from the data; the
+        ``o_hat`` (propensity) and CVR histograms come from the model's
+        predictions on the sampled rows, binned over the fixed [0, 1]
+        probability range.
+        """
+        rng = np.random.default_rng(seed)
+        n = len(dataset)
+        if n == 0:
+            raise ValueError("cannot capture a drift reference from 0 rows")
+        idx = np.sort(rng.choice(n, size=min(sample, n), replace=False))
+        subset = dataset.subset(idx)
+        preds = model.predict(subset.full_batch())
+        dense = {
+            c: ReferenceDistribution.from_samples(c, v, bins=bins)
+            for c, v in subset.dense.items()
+        }
+        propensity = ReferenceDistribution.from_samples(
+            "o_hat", preds.ctr, bins=bins, value_range=(0.0, 1.0)
+        )
+        cvr = ReferenceDistribution.from_samples(
+            "cvr_hat", preds.cvr, bins=bins, value_range=(0.0, 1.0)
+        )
+        return cls(dense=dense, propensity=propensity, cvr=cvr)
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict:
+        return {
+            "dense": {k: v.to_dict() for k, v in self.dense.items()},
+            "propensity": self.propensity.to_dict(),
+            "cvr": self.cvr.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "DriftReference":
+        return cls(
+            dense={
+                k: ReferenceDistribution.from_dict(v)
+                for k, v in payload["dense"].items()
+            },
+            propensity=ReferenceDistribution.from_dict(payload["propensity"]),
+            cvr=ReferenceDistribution.from_dict(payload["cvr"]),
+        )
+
+    def save(self, path: "Path | str") -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "DriftReference":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+class DriftSentinel:
+    """The monitor bundle a serving stack consults per request."""
+
+    def __init__(
+        self,
+        reference: DriftReference,
+        thresholds: Optional[DriftThresholds] = None,
+        window: int = 2048,
+    ) -> None:
+        self.thresholds = thresholds or DriftThresholds()
+        self.monitors: Dict[str, DriftMonitor] = {
+            f"dense:{name}": DriftMonitor(ref, self.thresholds, window)
+            for name, ref in reference.dense.items()
+        }
+        self.monitors["propensity"] = DriftMonitor(
+            reference.propensity, self.thresholds, window
+        )
+        self.monitors["cvr"] = DriftMonitor(reference.cvr, self.thresholds, window)
+
+    def observe(
+        self,
+        dense: Optional[Dict[str, np.ndarray]] = None,
+        o_hat: Optional[np.ndarray] = None,
+        cvr: Optional[np.ndarray] = None,
+    ) -> None:
+        """Feed one request's serving-time observations."""
+        if dense:
+            for name, values in dense.items():
+                monitor = self.monitors.get(f"dense:{name}")
+                if monitor is not None:
+                    monitor.observe(values)
+        if o_hat is not None:
+            self.monitors["propensity"].observe(o_hat)
+        if cvr is not None:
+            self.monitors["cvr"].observe(cvr)
+
+    def statuses(self) -> Dict[str, str]:
+        return {name: m.status() for name, m in self.monitors.items()}
+
+    def status(self) -> str:
+        """Worst status across every monitor."""
+        return max(
+            self.statuses().values(), key=_SEVERITY.__getitem__, default=STATUS_OK
+        )
+
+    @property
+    def tripped(self) -> bool:
+        return self.status() == STATUS_TRIP
+
+    @property
+    def warned(self) -> bool:
+        return _SEVERITY[self.status()] >= _SEVERITY[STATUS_WARN]
+
+    def report(self) -> Dict[str, Dict]:
+        return {name: m.snapshot() for name, m in self.monitors.items()}
+
+    def reset(self) -> None:
+        for monitor in self.monitors.values():
+            monitor.reset()

@@ -42,6 +42,17 @@ class ScoringUnavailableError(ReliabilityError):
     """
 
 
+class RequestShedError(ReliabilityError):
+    """Admission control refused the request.
+
+    Raised by :class:`~repro.simulation.serving.RankingService` when the
+    bounded admission queue is full or the health state machine is in
+    SHEDDING and this request fell on the shed side of the stride.
+    Callers treat it as backpressure: retry later or route elsewhere --
+    the service is protecting the requests it has already admitted.
+    """
+
+
 class PropensityCollapseWarning(UserWarning):
     """The propensity head is piling up at the clip boundary.
 

@@ -1,0 +1,139 @@
+"""Serving health state machine: HEALTHY -> DEGRADED -> SHEDDING.
+
+One service-level state computed from three independent signals --
+the circuit breaker guarding the primary scorer, the drift sentinels,
+and the admission-queue depth -- so operators (and the admission
+controller itself) read a single word instead of cross-referencing
+three dashboards:
+
+* **HEALTHY** -- breaker closed, no drift trip, queue shallow;
+* **DEGRADED** -- the breaker is open (traffic is riding the fallback
+  chain), a drift sentinel has tripped, or the queue is filling;
+* **SHEDDING** -- the queue is near capacity, or the breaker is open
+  *while* drift has tripped (fallback quality is itself suspect); the
+  admission controller sheds a deterministic fraction of traffic.
+
+Escalation is immediate; de-escalation steps down one level only after
+``recovery_grace`` consecutive clean evaluations, so one good request
+cannot flap the service back to HEALTHY mid-incident.  Every
+transition is recorded with its reason for forensics and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+SHEDDING = "shedding"
+_RANK = {HEALTHY: 0, DEGRADED: 1, SHEDDING: 2}
+_BY_RANK = [HEALTHY, DEGRADED, SHEDDING]
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """When queue depth degrades or sheds, and how recovery is paced."""
+
+    #: Queue fullness (depth / max depth) that marks DEGRADED.
+    degrade_queue_fraction: float = 0.5
+    #: Queue fullness that forces SHEDDING.
+    shed_queue_fraction: float = 0.9
+    #: Consecutive clean evaluations before stepping down one level.
+    recovery_grace: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.degrade_queue_fraction <= self.shed_queue_fraction:
+            raise ValueError(
+                "need 0 < degrade_queue_fraction <= shed_queue_fraction, got "
+                f"{self.degrade_queue_fraction} / {self.shed_queue_fraction}"
+            )
+        if self.shed_queue_fraction > 1.0:
+            raise ValueError(
+                f"shed_queue_fraction must be <= 1, got {self.shed_queue_fraction}"
+            )
+        if self.recovery_grace < 1:
+            raise ValueError(
+                f"recovery_grace must be >= 1, got {self.recovery_grace}"
+            )
+
+
+@dataclass(frozen=True)
+class HealthTransition:
+    """One recorded state change (evaluation index + cause)."""
+
+    step: int
+    from_state: str
+    to_state: str
+    reason: str
+
+
+@dataclass
+class HealthMonitor:
+    """Evaluates the three signals into one state with hysteresis."""
+
+    policy: HealthPolicy = field(default_factory=HealthPolicy)
+    _state: str = HEALTHY
+    _steps: int = 0
+    _calm: int = 0
+    transitions: List[HealthTransition] = field(default_factory=list)
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def _target(
+        self, breaker_open: bool, drift_status: str, queue_fraction: float
+    ) -> Tuple[str, str]:
+        """Severity the current signals call for, with its reason."""
+        if queue_fraction >= self.policy.shed_queue_fraction:
+            return SHEDDING, f"queue at {queue_fraction:.0%} of capacity"
+        if breaker_open and drift_status == "trip":
+            return SHEDDING, "breaker open with drift tripped"
+        reasons = []
+        if breaker_open:
+            reasons.append("breaker open")
+        if drift_status == "trip":
+            reasons.append("drift sentinel tripped")
+        if queue_fraction >= self.policy.degrade_queue_fraction:
+            reasons.append(f"queue at {queue_fraction:.0%} of capacity")
+        if reasons:
+            return DEGRADED, " + ".join(reasons)
+        return HEALTHY, "signals clean"
+
+    def update(
+        self,
+        breaker_open: bool = False,
+        drift_status: str = "ok",
+        queue_fraction: float = 0.0,
+    ) -> str:
+        """Fold one evaluation of the signals into the state machine."""
+        self._steps += 1
+        target, reason = self._target(breaker_open, drift_status, queue_fraction)
+        if _RANK[target] > _RANK[self._state]:
+            self._move(target, reason)
+            self._calm = 0
+        elif _RANK[target] < _RANK[self._state]:
+            self._calm += 1
+            if self._calm >= self.policy.recovery_grace:
+                step_down = _BY_RANK[_RANK[self._state] - 1]
+                self._move(
+                    step_down,
+                    f"recovered after {self._calm} clean evaluations",
+                )
+                self._calm = 0
+        else:
+            self._calm = 0
+        return self._state
+
+    def _move(self, to_state: str, reason: str) -> None:
+        self.transitions.append(
+            HealthTransition(self._steps, self._state, to_state, reason)
+        )
+        self._state = to_state
+
+    def reset(self) -> None:
+        """Operator override back to HEALTHY (transitions retained)."""
+        if self._state != HEALTHY:
+            self._move(HEALTHY, "operator reset")
+        self._calm = 0

@@ -18,7 +18,12 @@ the synthetic behaviour world:
   day-1 prediction log used by the Fig. 7 reproduction.
 """
 
-from repro.simulation.serving import RankingService, ServingStats
+from repro.simulation.serving import (
+    AdmissionQueue,
+    Deadline,
+    RankingService,
+    ServingStats,
+)
 from repro.simulation.behavior import BehaviorSimulator, PageViewOutcome
 from repro.simulation.ab_test import (
     ABTest,
@@ -28,6 +33,8 @@ from repro.simulation.ab_test import (
 )
 
 __all__ = [
+    "AdmissionQueue",
+    "Deadline",
     "RankingService",
     "ServingStats",
     "BehaviorSimulator",

@@ -7,19 +7,33 @@ position, candidates are scored *as if* shown at the top position and
 the resulting order determines the actual positions -- the standard
 score-then-place serving loop.
 
-Serving is degradation-tolerant: the primary scorer runs behind a
-circuit breaker with bounded retries, and on failure the service walks
-a fallback chain -- the shared CTR model, then a static popularity
-prior -- so **a page is always served**.  Which path produced each page
-is observable through :class:`ServingStats` and the breaker state
-(``service.breaker.state``).
+Serving is degradation-tolerant end to end:
+
+* the primary scorer runs behind a circuit breaker with bounded,
+  deadline-aware retries, and on failure the service walks a fallback
+  chain -- the shared CTR model, then a static popularity prior -- so
+  an *admitted* request always gets a page;
+* a prediction sanitizer rejects NaN/out-of-[0,1] scores before they
+  reach ranking, feeding the breaker exactly like a thrown exception;
+* a bounded admission queue sheds arrivals when full, and a health
+  state machine (HEALTHY -> DEGRADED -> SHEDDING, see
+  :mod:`repro.reliability.health`) driven by the breaker, the drift
+  sentinels, and the queue depth sheds a deterministic fraction of
+  traffic while the service is overwhelmed;
+* an optional :class:`~repro.reliability.drift.DriftSentinel` observes
+  every primary-path prediction, so distribution shift is a first-class
+  degradation signal.
+
+Which path produced each page is observable through
+:class:`ServingStats`, ``service.breaker.state``, ``service.health``
+and ``service.admission``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -27,16 +41,90 @@ from repro.data.dataset import Batch
 from repro.data.synthetic import SyntheticScenario
 from repro.models.base import MultiTaskModel
 from repro.reliability.circuit import CircuitBreaker
-from repro.reliability.config import ServingPolicy
-from repro.reliability.errors import ScoringUnavailableError
+from repro.reliability.config import AdmissionPolicy, ServingPolicy
+from repro.reliability.drift import DriftSentinel
+from repro.reliability.errors import RequestShedError, ScoringUnavailableError
+from repro.reliability.health import SHEDDING, HealthMonitor, HealthPolicy
 from repro.utils.logging import get_logger, log_event
 
 logger = get_logger("simulation.serving")
 
 
+class Deadline:
+    """Per-request latency budget with an injectable clock.
+
+    ``None`` budget means "no deadline" -- every check reports
+    unexpired.  The deadline is created when the request is admitted
+    and propagated through the retry/fallback chain, so a slow primary
+    scorer cannot spend the whole budget on retries.
+    """
+
+    def __init__(
+        self, budget_s: Optional[float], clock: Callable[[], float]
+    ) -> None:
+        if budget_s is not None and budget_s <= 0:
+            raise ValueError(f"budget_s must be > 0 or None, got {budget_s}")
+        self.budget_s = budget_s
+        self._clock = clock
+        self._start = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def remaining(self) -> float:
+        if self.budget_s is None:
+            return float("inf")
+        return self.budget_s - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.budget_s is not None and self.remaining() <= 0.0
+
+
+class AdmissionQueue:
+    """Bounded depth counter standing in for the server's request queue.
+
+    Each in-flight request holds one slot (``try_admit``/``release``);
+    a full queue sheds arrivals.  Simulations of backlog can pin slots
+    with :meth:`occupy` (a load generator holding requests open) and
+    free them with :meth:`drain`.
+    """
+
+    def __init__(self, policy: Optional[AdmissionPolicy] = None) -> None:
+        self.policy = policy or AdmissionPolicy()
+        self.depth = 0
+        self.offered = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    @property
+    def fraction(self) -> float:
+        """Current fullness in [0, 1]."""
+        return self.depth / self.policy.max_queue_depth
+
+    def try_admit(self) -> bool:
+        self.offered += 1
+        if self.depth >= self.policy.max_queue_depth:
+            self.rejected += 1
+            return False
+        self.depth += 1
+        self.admitted += 1
+        return True
+
+    def release(self) -> None:
+        self.depth = max(self.depth - 1, 0)
+
+    def occupy(self, n: int) -> None:
+        """Pin ``n`` slots (simulated backlog; capped at capacity)."""
+        self.depth = min(self.depth + n, self.policy.max_queue_depth)
+
+    def drain(self, n: Optional[int] = None) -> None:
+        """Free ``n`` pinned slots (all of them when ``None``)."""
+        self.depth = 0 if n is None else max(self.depth - n, 0)
+
+
 @dataclass
 class ServingStats:
-    """Counters for the primary path and every fallback engagement."""
+    """Counters for the primary path and every degradation event."""
 
     requests: int = 0
     primary: int = 0
@@ -44,6 +132,12 @@ class ServingStats:
     breaker_short_circuits: int = 0
     fallback_ctr_provider: int = 0
     fallback_popularity: int = 0
+    #: Requests refused by admission control (queue full or SHEDDING).
+    shed: int = 0
+    #: Requests whose primary retries were abandoned on the deadline.
+    deadline_fallbacks: int = 0
+    #: Scorer outputs rejected for NaN/out-of-range values.
+    sanitizer_rejections: int = 0
     #: Scoring source of the most recent request.
     last_source: str = ""
     #: Requests served per source (redundant with the counters above,
@@ -85,6 +179,15 @@ def _validate_scoring_model(model, role: str) -> None:
             )
 
 
+def _check_probabilities(values: np.ndarray, what: str) -> None:
+    """Sanitizer core: finite and inside [0, 1], or the scorer failed."""
+    values = np.asarray(values)
+    if not np.all(np.isfinite(values)):
+        raise ScoringUnavailableError(f"sanitizer: non-finite {what}")
+    if np.any(values < 0.0) or np.any(values > 1.0):
+        raise ScoringUnavailableError(f"sanitizer: {what} outside [0, 1]")
+
+
 class RankingService:
     """Serves top-k pages for one model against one scenario world."""
 
@@ -97,6 +200,10 @@ class RankingService:
         ctr_provider: Optional[MultiTaskModel] = None,
         policy: Optional[ServingPolicy] = None,
         breaker: Optional[CircuitBreaker] = None,
+        sentinel: Optional[DriftSentinel] = None,
+        admission: Optional[AdmissionPolicy] = None,
+        health: Optional[HealthPolicy] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         if page_size < 1:
             raise ValueError(f"page_size must be >= 1, got {page_size}")
@@ -121,10 +228,19 @@ class RankingService:
             failure_threshold=self.policy.breaker_failure_threshold,
             recovery_time=self.policy.breaker_recovery_time,
         )
+        self.sentinel = sentinel
+        self.admission = AdmissionQueue(admission)
+        self.health = HealthMonitor(health or HealthPolicy())
+        self._clock = clock or time.monotonic
         self.stats = ServingStats()
         #: CVR prior reported for fallback-served pages (the scenario's
         #: calibrated click-space conversion rate).
         self._cvr_prior = float(scenario.config.target_cvr_given_click)
+        #: Propensity (CTR) predictions of the most recent primary
+        #: scoring call, for the drift sentinel.
+        self._last_ctr: Optional[np.ndarray] = None
+        #: Deterministic shed pattern position (SHEDDING state).
+        self._shed_phase = 0
 
     # ------------------------------------------------------------------
     def _features(
@@ -156,6 +272,7 @@ class RankingService:
         ctr = preds.ctr
         if self.ctr_provider is not None and self.ctr_provider is not self.model:
             ctr = self.ctr_provider.predict(batch).ctr
+        self._last_ctr = ctr
         scores = {
             "ctcvr": ctr * preds.cvr,
             "cvr": preds.cvr,
@@ -169,18 +286,25 @@ class RankingService:
         user: int,
         candidates: np.ndarray,
         rng: np.random.Generator,
+        deadline: Deadline,
     ) -> Tuple[np.ndarray, np.ndarray, str]:
         """Primary scorer -> shared CTR model -> popularity prior.
 
-        Every failure of the primary path feeds the circuit breaker;
-        while the breaker is open the primary is skipped outright, so a
-        dead model costs one state check instead of a retry storm.
+        Every failure of the primary path (thrown *or* sanitized away)
+        feeds the circuit breaker; while the breaker is open the primary
+        is skipped outright, so a dead model costs one state check
+        instead of a retry storm.  An expired deadline abandons the
+        remaining retries and rides the fallback chain immediately --
+        the page still ships, just from a cheaper scorer.
         """
         policy = self.policy
-        if self.breaker.allow():
+        if deadline.expired():
+            self.stats.deadline_fallbacks += 1
+        elif self.breaker.allow():
             for attempt in range(1 + policy.max_retries):
                 try:
                     scores, cvr = self.score_candidates(user, candidates, rng)
+                    self._sanitize_primary(scores, cvr)
                 except Exception as exc:
                     self.breaker.record_failure()
                     wrapped = (
@@ -196,18 +320,22 @@ class RankingService:
                         breaker=self.breaker.state,
                         error=str(wrapped),
                     )
+                    if attempt < policy.max_retries and deadline.expired():
+                        self.stats.deadline_fallbacks += 1
+                        break
                     if attempt < policy.max_retries and self.breaker.allow():
                         self.stats.retries += 1
                         if policy.backoff_s:
-                            time.sleep(
-                                policy.backoff_s
-                                * policy.backoff_multiplier**attempt
+                            pause = policy.backoff_s * (
+                                policy.backoff_multiplier**attempt
                             )
+                            time.sleep(min(pause, max(deadline.remaining(), 0.0)))
                         continue
                     break
                 else:
                     self.breaker.record_success()
                     self.stats.primary += 1
+                    self._observe_drift(cvr)
                     return scores, cvr, "primary"
         else:
             self.stats.breaker_short_circuits += 1
@@ -216,9 +344,15 @@ class RankingService:
             try:
                 batch = self._features(user, candidates, rng)
                 ctr = self.ctr_provider.predict(batch).ctr
+                _check_probabilities(ctr, "fallback CTR scores")
                 self.stats.fallback_ctr_provider += 1
                 cvr = np.full(len(candidates), self._cvr_prior)
                 return ctr, cvr, "ctr_provider"
+            except ScoringUnavailableError as exc:
+                self.stats.sanitizer_rejections += 1
+                log_event(
+                    logger, "fallback_ctr_failure", level=30, error=str(exc)
+                )
             except Exception as exc:
                 log_event(
                     logger, "fallback_ctr_failure", level=30, error=str(exc)
@@ -231,12 +365,40 @@ class RankingService:
         self.stats.fallback_popularity += 1
         return scores, cvr, "popularity"
 
+    def _sanitize_primary(self, scores: np.ndarray, cvr: np.ndarray) -> None:
+        """Reject NaN/out-of-range predictions before they rank a page.
+
+        A rejection is a primary-path failure: it raises
+        :class:`ScoringUnavailableError` inside the retry loop, feeds
+        the breaker, and engages the existing fallback chain.
+        """
+        try:
+            _check_probabilities(scores, f"{self.objective} scores")
+            _check_probabilities(cvr, "cvr predictions")
+        except ScoringUnavailableError:
+            self.stats.sanitizer_rejections += 1
+            raise
+
+    def _observe_drift(self, cvr: np.ndarray) -> None:
+        if self.sentinel is None:
+            return
+        self.sentinel.observe(o_hat=self._last_ctr, cvr=cvr)
+
+    def _update_health(self) -> str:
+        drift = self.sentinel.status() if self.sentinel is not None else "ok"
+        return self.health.update(
+            breaker_open=self.breaker.state == CircuitBreaker.OPEN,
+            drift_status=drift,
+            queue_fraction=self.admission.fraction,
+        )
+
     # ------------------------------------------------------------------
     def serve_page(
         self,
         user: int,
         candidates: np.ndarray,
         rng: np.random.Generator,
+        deadline_s: Optional[float] = None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Rank candidates; return ``(page_items, cvr_predictions)``.
 
@@ -245,11 +407,46 @@ class RankingService:
         those items (logged for the Fig. 7 analysis).  When the primary
         scorer is unavailable the fallback chain ranks the page instead
         (see :class:`ServingStats` for which path served what).
+
+        ``deadline_s`` overrides ``policy.deadline_s`` for this request.
+        Raises :class:`~repro.reliability.errors.RequestShedError` when
+        admission control refuses the request (full queue, or SHEDDING
+        health state); an admitted request always gets a page.
         """
         if len(candidates) == 0:
             raise ValueError("cannot serve an empty candidate list")
         self.stats.requests += 1
-        scores, cvr, source = self._score_with_fallback(user, candidates, rng)
+
+        state = self._update_health()
+        if state == SHEDDING:
+            self._shed_phase += 1
+            if self._shed_phase % self.admission.policy.shed_stride != 0:
+                self.stats.shed += 1
+                raise RequestShedError(
+                    f"shedding load (health={state}, "
+                    f"queue {self.admission.depth}/"
+                    f"{self.admission.policy.max_queue_depth})"
+                )
+        if not self.admission.try_admit():
+            self.stats.shed += 1
+            raise RequestShedError(
+                f"admission queue full "
+                f"({self.admission.depth}/{self.admission.policy.max_queue_depth})"
+            )
+        try:
+            deadline = Deadline(
+                self.policy.deadline_s if deadline_s is None else deadline_s,
+                self._clock,
+            )
+            scores, cvr, source = self._score_with_fallback(
+                user, candidates, rng, deadline
+            )
+        finally:
+            self.admission.release()
         self.stats.record(source)
+        self._update_health()
+        # Belt-and-braces: whatever path served, the CVR estimates the
+        # caller logs are finite and inside [0, 1].
+        cvr = np.clip(np.nan_to_num(cvr, nan=self._cvr_prior), 0.0, 1.0)
         order = np.argsort(-scores)[: self.page_size]
         return candidates[order], cvr[order]

@@ -16,7 +16,9 @@ monolith is one class here, attachable to any
   (PR 2's profiler, ``TrainConfig.profile_ops``);
 * :class:`LRSchedulerCallback` -- per-epoch/per-batch LR schedules,
   guard-aware;
-* :class:`ValidationCallback` -- epoch-end evaluation and early stopping.
+* :class:`ValidationCallback` -- epoch-end evaluation and early stopping;
+* :class:`DriftReferenceCallback` -- freezes the training-time
+  feature/propensity/CVR distributions for the serving drift sentinels.
 
 See :mod:`repro.training.callbacks.base` for the hook protocol and its
 ordering guarantees.
@@ -24,6 +26,7 @@ ordering guarantees.
 
 from repro.training.callbacks.base import Callback, CallbackList, TrainingContext
 from repro.training.callbacks.checkpoint import CheckpointCallback
+from repro.training.callbacks.drift import DriftReferenceCallback
 from repro.training.callbacks.faults import FaultInjectionCallback
 from repro.training.callbacks.guard import LossGuardCallback
 from repro.training.callbacks.monitor import PropensityMonitorCallback
@@ -36,6 +39,7 @@ __all__ = [
     "CallbackList",
     "TrainingContext",
     "CheckpointCallback",
+    "DriftReferenceCallback",
     "FaultInjectionCallback",
     "LossGuardCallback",
     "PropensityMonitorCallback",

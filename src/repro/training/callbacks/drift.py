@@ -1,0 +1,82 @@
+"""Capture a serving drift reference at the end of training.
+
+The drift sentinels (:mod:`repro.reliability.drift`) compare live
+serving distributions against a *frozen training reference* -- this
+callback is where that reference freezes.  On normal fit completion it
+samples the training split, runs the freshly trained model over the
+sample, and snapshots the dense-feature, ``o_hat`` (propensity), and
+predicted-CVR histograms.  The result is available in-process as
+``callback.reference`` and, when ``path`` is given, persisted as JSON
+next to the run's other artifacts so a serving process can load it
+without the training data.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.reliability.drift import DriftReference
+from repro.training.callbacks.base import Callback, TrainingContext
+from repro.utils.logging import get_logger, log_event
+
+logger = get_logger("training.callbacks.drift")
+
+
+class DriftReferenceCallback(Callback):
+    """Freeze the training-time distributions when ``fit`` completes.
+
+    Parameters
+    ----------
+    sample:
+        Training rows sampled for the snapshot (the whole split when
+        smaller).
+    bins:
+        Histogram bins per monitored quantity.
+    seed:
+        Sampling seed -- the snapshot is deterministic given the model
+        and data.
+    path:
+        Optional JSON destination (written via
+        :meth:`~repro.reliability.drift.DriftReference.save`).
+    """
+
+    def __init__(
+        self,
+        sample: int = 2048,
+        bins: int = 10,
+        seed: int = 0,
+        path: "Path | str | None" = None,
+    ) -> None:
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        if bins < 2:
+            raise ValueError(f"bins must be >= 2, got {bins}")
+        self.sample = sample
+        self.bins = bins
+        self.seed = seed
+        self.path = None if path is None else Path(path)
+        self.reference: Optional[DriftReference] = None
+
+    def on_fit_end(self, ctx: TrainingContext) -> None:
+        self.reference = DriftReference.capture(
+            ctx.model,
+            ctx.train,
+            sample=self.sample,
+            bins=self.bins,
+            seed=self.seed,
+        )
+        if self.path is not None:
+            self.reference.save(self.path)
+        log_event(
+            logger,
+            "drift_reference_captured",
+            sample=min(self.sample, len(ctx.train)),
+            bins=self.bins,
+            path=str(self.path) if self.path is not None else "<memory>",
+        )
+
+    def checkpoint_metadata(self, ctx: TrainingContext) -> Dict[str, Any]:
+        if self.path is None:
+            return {}
+        return {"drift_reference_path": str(self.path)}

@@ -93,6 +93,61 @@ class TestLoadCsvDataset:
         with pytest.raises(ValueError, match="cells"):
             load_csv_dataset(path)
 
+    def test_bad_label_error_names_column_and_position(self, tmp_path):
+        """Label errors carry path, row number, and column name."""
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "user_id,click,conversion\nu1,1,0\nu2,1,maybe\n"
+        )
+        with pytest.raises(ValueError) as excinfo:
+            load_csv_dataset(path)
+        message = str(excinfo.value)
+        assert f"{path}:3" in message  # header is line 1
+        assert "'conversion'" in message
+        assert "'maybe'" in message
+
+    def test_bad_click_error_names_click_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user_id,click,conversion\nu1,yes,0\n")
+        with pytest.raises(ValueError, match="column 'click'"):
+            load_csv_dataset(path)
+
+    def test_ragged_row_error_names_missing_columns(self, tmp_path):
+        """Short rows report exactly which columns were truncated away."""
+        path = tmp_path / "bad.csv"
+        path.write_text("user_id,click,conversion\nu1,1\n")
+        with pytest.raises(ValueError) as excinfo:
+            load_csv_dataset(path)
+        message = str(excinfo.value)
+        assert f"{path}:2" in message
+        assert "missing columns ['conversion']" in message
+
+    def test_overlong_row_error_names_last_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user_id,click,conversion\nu1,1,0,9,9\n")
+        with pytest.raises(ValueError, match="beyond column 'conversion'"):
+            load_csv_dataset(path)
+
+    def test_bad_dense_value_error_names_column(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user_id,score,click,conversion\nu1,notanumber,1,0\n")
+        with pytest.raises(
+            ValueError, match="column 'score'.*'notanumber'"
+        ):
+            load_csv_dataset(path, spec=ColumnSpec(dense_features=("score",)))
+
+    def test_duplicate_header_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user_id,click,click,conversion\nu1,1,1,0\n")
+        with pytest.raises(ValueError, match="duplicate column 'click'"):
+            load_csv_dataset(path)
+
+    def test_empty_header_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user_id,,click,conversion\nu1,x,1,0\n")
+        with pytest.raises(ValueError, match="empty column name at position 1"):
+            load_csv_dataset(path)
+
     def test_conversion_without_click_rejected(self, tmp_path):
         path = tmp_path / "bad.csv"
         path.write_text("user_id,click,conversion\nu1,0,1\n")

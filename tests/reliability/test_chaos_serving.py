@@ -196,6 +196,151 @@ class TestCircuitBreaker:
             CircuitBreaker(recovery_time=-1.0)
 
 
+class TestBreakerRecoveryThroughService:
+    """Half-open probe behaviour driven end-to-end through serve_page."""
+
+    def make_clocked_service(self, world, **kwargs):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2, recovery_time=30.0, clock=clock
+        )
+        service = make_service(
+            world,
+            policy=ServingPolicy(max_retries=0, breaker_failure_threshold=2),
+            breaker=breaker,
+            clock=clock,
+            **kwargs,
+        )
+        return service, clock
+
+    def test_probe_success_closes_breaker_and_restores_primary(self, world):
+        service, clock = self.make_clocked_service(world)
+        rng = np.random.default_rng(5)
+        chaos = ChaosScoring(service, failure_rate=1.0, seed=1)
+        chaos.install()
+        for request in range(4):
+            service.serve_page(request % 5, np.arange(25), rng)
+        assert service.breaker.state == "open"
+        assert service.stats.breaker_short_circuits >= 1
+        # Outage ends; after the cool-down the next request is the
+        # half-open probe, succeeds, and the breaker closes for good.
+        chaos.uninstall()
+        clock.now = 31.0
+        assert service.breaker.state == "half_open"
+        service.serve_page(0, np.arange(25), rng)
+        assert service.breaker.state == "closed"
+        assert service.stats.last_source == "primary"
+        before = service.stats.primary
+        for request in range(5):
+            service.serve_page(request % 5, np.arange(25), rng)
+        assert service.stats.primary == before + 5
+
+    def test_probe_failure_reopens_and_traffic_stays_on_fallback(self, world):
+        service, clock = self.make_clocked_service(world)
+        rng = np.random.default_rng(5)
+        with ChaosScoring(service, failure_rate=1.0, seed=1) as chaos:
+            for request in range(4):
+                service.serve_page(request % 5, np.arange(25), rng)
+            assert service.breaker.state == "open"
+            opened = service.breaker.times_opened
+            # Cool-down elapses but the scorer is still down: the probe
+            # request fails and the breaker re-opens immediately.
+            clock.now = 31.0
+            service.serve_page(0, np.arange(25), rng)
+            assert service.breaker.state == "open"
+            assert service.breaker.times_opened == opened + 1
+            # Subsequent traffic short-circuits straight to fallback
+            # until the next cool-down -- no retry storm.
+            shorts = service.stats.breaker_short_circuits
+            service.serve_page(1, np.arange(25), rng)
+            assert service.stats.breaker_short_circuits == shorts + 1
+        assert chaos.failures_injected >= 3
+        assert service.stats.primary == 0
+
+    def test_recovery_cycle_is_reproducible(self, world):
+        outcomes = []
+        for _ in range(2):
+            service, clock = self.make_clocked_service(world)
+            rng = np.random.default_rng(2)
+            chaos = ChaosScoring(service, failure_rate=0.7, seed=4)
+            chaos.install()
+            for request in range(30):
+                service.serve_page(request % 5, np.arange(25), rng)
+                if request == 14:
+                    chaos.uninstall()
+                    clock.now += 31.0
+            outcomes.append(
+                (
+                    dict(service.stats.by_source),
+                    service.breaker.times_opened,
+                    service.stats.breaker_short_circuits,
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+
+class TestNaNFeatureFaults:
+    """Upstream feature corruption: NaN inputs -> NaN predictions ->
+    sanitizer rejection -> breaker -> fallback.  The page still ships
+    and never carries a NaN."""
+
+    def poison_features(self, service, fraction, seed):
+        from repro.reliability.faults import FaultInjector
+
+        original = service._features
+        counter = {"calls": 0}
+
+        def corrupted(user, candidates, rng):
+            batch = original(user, candidates, rng)
+            fault_rng = np.random.default_rng(
+                np.random.SeedSequence([seed, counter["calls"]])
+            )
+            counter["calls"] += 1
+            return FaultInjector.nan_features(batch, fraction, fault_rng)
+
+        service._features = corrupted
+
+    def test_poisoned_features_ride_fallback_without_nan_output(self, world):
+        scenario, primary, _ = world
+        service = RankingService(
+            primary,
+            scenario,
+            page_size=6,
+            policy=ServingPolicy(max_retries=0, breaker_failure_threshold=2),
+        )
+        self.poison_features(service, fraction=0.5, seed=0)
+        rng = np.random.default_rng(0)
+        for request in range(10):
+            page, cvr = service.serve_page(request % 5, np.arange(25), rng)
+            assert len(page) == 6
+            assert np.all(np.isfinite(cvr))
+            assert np.all((cvr >= 0.0) & (cvr <= 1.0))
+        stats = service.stats
+        assert stats.primary == 0
+        assert stats.sanitizer_rejections >= 2
+        assert stats.fallback_popularity == 10
+        assert service.breaker.state == "open"
+
+    def test_poisoned_features_are_reproducible(self, world):
+        scenario, primary, _ = world
+        outcomes = []
+        for _ in range(2):
+            service = RankingService(
+                primary,
+                scenario,
+                page_size=6,
+                policy=ServingPolicy(max_retries=1, breaker_failure_threshold=3),
+            )
+            self.poison_features(service, fraction=0.3, seed=9)
+            rng = np.random.default_rng(1)
+            for request in range(15):
+                service.serve_page(request % 5, np.arange(25), rng)
+            outcomes.append(
+                (dict(service.stats.by_source), service.stats.sanitizer_rejections)
+            )
+        assert outcomes[0] == outcomes[1]
+
+
 class TestScoringModelValidation:
     def test_ctr_provider_must_be_model(self, world):
         scenario, primary, _ = world

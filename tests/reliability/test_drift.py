@@ -1,0 +1,232 @@
+"""Drift sentinels: PSI/KS math, monitor thresholds, reference capture."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.models import ModelConfig, build_model
+from repro.reliability.drift import (
+    DriftMonitor,
+    DriftReference,
+    DriftSentinel,
+    DriftThresholds,
+    ReferenceDistribution,
+    ks_statistic,
+    population_stability_index,
+)
+
+pytestmark = pytest.mark.robustness
+
+
+class TestStatistics:
+    def test_identical_histograms_score_zero(self):
+        counts = np.array([10.0, 20.0, 30.0, 40.0])
+        assert population_stability_index(counts, counts) == pytest.approx(0.0)
+        assert ks_statistic(counts, counts) == pytest.approx(0.0)
+
+    def test_scale_invariance(self):
+        e = np.array([10.0, 20.0, 30.0])
+        assert population_stability_index(e, e * 7) == pytest.approx(0.0, abs=1e-9)
+        assert ks_statistic(e, e * 7) == pytest.approx(0.0, abs=1e-12)
+
+    def test_shift_scores_high(self):
+        e = np.array([70.0, 20.0, 10.0])
+        a = np.array([10.0, 20.0, 70.0])
+        assert population_stability_index(e, a) > 0.25
+        assert ks_statistic(e, a) > 0.2
+
+    def test_empty_actual_bins_finite(self):
+        e = np.array([10.0, 10.0, 10.0])
+        a = np.array([30.0, 0.0, 0.0])
+        assert np.isfinite(population_stability_index(e, a))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError, match="shapes"):
+            population_stability_index(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError, match="shapes"):
+            ks_statistic(np.ones(3), np.ones(4))
+
+
+class TestReferenceDistribution:
+    def test_from_samples_and_histogram(self, rng):
+        values = rng.normal(0.0, 1.0, size=1000)
+        ref = ReferenceDistribution.from_samples("x", values, bins=8)
+        assert len(ref.edges) == 9
+        assert ref.counts.sum() == 1000
+        # Re-binning the same samples reproduces the reference counts.
+        np.testing.assert_allclose(ref.histogram(values), ref.counts)
+
+    def test_out_of_range_values_clip_to_edge_bins(self):
+        ref = ReferenceDistribution.from_samples(
+            "x", np.linspace(0, 1, 100), bins=4, value_range=(0.0, 1.0)
+        )
+        counts = ref.histogram(np.array([-5.0, -4.0, 9.0]))
+        assert counts[0] == 2 and counts[-1] == 1
+
+    def test_degenerate_constant_column(self):
+        ref = ReferenceDistribution.from_samples("x", np.full(50, 3.0), bins=4)
+        assert ref.counts.sum() == 50
+
+    def test_nonfinite_samples_ignored(self):
+        ref = ReferenceDistribution.from_samples(
+            "x", np.array([0.1, np.nan, 0.9, np.inf]), bins=2
+        )
+        assert ref.counts.sum() == 2
+
+    def test_all_nonfinite_rejected(self):
+        with pytest.raises(ValueError, match="no finite"):
+            ReferenceDistribution.from_samples("x", np.array([np.nan, np.inf]))
+
+    def test_round_trip(self):
+        ref = ReferenceDistribution.from_samples("x", np.arange(20.0), bins=5)
+        back = ReferenceDistribution.from_dict(ref.to_dict())
+        assert back.name == "x"
+        np.testing.assert_allclose(back.edges, ref.edges)
+        np.testing.assert_allclose(back.counts, ref.counts)
+
+
+class TestDriftMonitor:
+    def make_monitor(self, **kwargs):
+        ref = ReferenceDistribution.from_samples(
+            "x", np.random.default_rng(0).uniform(0, 1, 2000), bins=10
+        )
+        thresholds = DriftThresholds(min_samples=100, **kwargs)
+        return DriftMonitor(ref, thresholds, window=500)
+
+    def test_silent_below_min_samples(self):
+        monitor = self.make_monitor()
+        monitor.observe(np.full(50, 0.99))  # wildly shifted but tiny sample
+        assert monitor.status() == "ok"
+
+    def test_in_distribution_stays_ok(self):
+        monitor = self.make_monitor()
+        monitor.observe(np.random.default_rng(1).uniform(0, 1, 400))
+        assert monitor.status() == "ok"
+        assert monitor.psi() < 0.1
+
+    def test_shifted_window_trips(self):
+        monitor = self.make_monitor()
+        monitor.observe(np.random.default_rng(1).uniform(0.9, 1.0, 400))
+        assert monitor.status() == "trip"
+        assert monitor.psi() > 0.25
+
+    def test_window_is_bounded_and_recovers(self):
+        monitor = self.make_monitor()
+        monitor.observe(np.random.default_rng(1).uniform(0.9, 1.0, 400))
+        assert monitor.status() == "trip"
+        # 500 clean samples flush the (maxlen 500) window completely.
+        monitor.observe(np.random.default_rng(2).uniform(0, 1, 500))
+        assert monitor.status() == "ok"
+
+    def test_reset(self):
+        monitor = self.make_monitor()
+        monitor.observe(np.full(400, 0.99))
+        monitor.reset()
+        assert monitor.n_observed == 0
+        assert monitor.status() == "ok"
+
+    def test_snapshot_fields(self):
+        monitor = self.make_monitor()
+        monitor.observe(np.full(10, 0.5))
+        snap = monitor.snapshot()
+        assert set(snap) == {"name", "n", "psi", "ks", "status"}
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            DriftThresholds(psi_warn=0.3, psi_trip=0.2)
+        with pytest.raises(ValueError):
+            DriftThresholds(min_samples=0)
+
+
+@pytest.fixture(scope="module")
+def trained_world():
+    train, _, scenario = load_scenario(
+        "ae_es", n_users=30, n_items=40, n_train=1200, n_test=200
+    )
+    model = build_model(
+        "dcmt", train.schema, ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+    )
+    return train, model
+
+
+class TestDriftReference:
+    def test_capture_monitors_everything(self, trained_world):
+        train, model = trained_world
+        reference = DriftReference.capture(model, train, sample=512, seed=3)
+        assert set(reference.dense) == set(train.dense)
+        assert reference.propensity.name == "o_hat"
+        assert reference.cvr.name == "cvr_hat"
+        # Probability monitors use the fixed [0, 1] range.
+        assert reference.propensity.edges[0] == 0.0
+        assert reference.propensity.edges[-1] == 1.0
+
+    def test_capture_is_deterministic(self, trained_world):
+        train, model = trained_world
+        a = DriftReference.capture(model, train, sample=256, seed=7)
+        b = DriftReference.capture(model, train, sample=256, seed=7)
+        np.testing.assert_allclose(a.propensity.counts, b.propensity.counts)
+
+    def test_json_round_trip(self, trained_world, tmp_path):
+        train, model = trained_world
+        reference = DriftReference.capture(model, train, sample=256, seed=1)
+        path = reference.save(tmp_path / "ref.json")
+        back = DriftReference.load(path)
+        np.testing.assert_allclose(back.cvr.counts, reference.cvr.counts)
+        np.testing.assert_allclose(
+            back.dense[next(iter(back.dense))].edges,
+            reference.dense[next(iter(reference.dense))].edges,
+        )
+
+    def test_empty_dataset_rejected(self, trained_world):
+        train, model = trained_world
+        with pytest.raises(ValueError, match="0 rows"):
+            DriftReference.capture(model, train.subset(np.array([], dtype=int)))
+
+
+class TestDriftSentinel:
+    def make_sentinel(self, trained_world, **kwargs):
+        train, model = trained_world
+        reference = DriftReference.capture(model, train, sample=512, seed=0)
+        thresholds = DriftThresholds(min_samples=kwargs.pop("min_samples", 100))
+        return DriftSentinel(reference, thresholds, **kwargs), train, model
+
+    def test_monitor_inventory(self, trained_world):
+        sentinel, train, _ = self.make_sentinel(trained_world)
+        assert set(sentinel.monitors) == {
+            *(f"dense:{c}" for c in train.dense),
+            "propensity",
+            "cvr",
+        }
+
+    def test_in_distribution_traffic_ok(self, trained_world):
+        sentinel, train, model = self.make_sentinel(trained_world)
+        preds = model.predict(train.subset(np.arange(400)).full_batch())
+        sentinel.observe(
+            dense={c: v[:400] for c, v in train.dense.items()},
+            o_hat=preds.ctr,
+            cvr=preds.cvr,
+        )
+        assert sentinel.status() == "ok"
+        assert not sentinel.tripped
+
+    def test_propensity_shift_trips_overall_status(self, trained_world):
+        sentinel, _, _ = self.make_sentinel(trained_world)
+        sentinel.observe(o_hat=np.full(400, 0.999))  # propensity collapse
+        assert sentinel.statuses()["propensity"] == "trip"
+        assert sentinel.status() == "trip"
+        assert sentinel.tripped
+        # The other monitors saw nothing and stay ok.
+        assert sentinel.statuses()["cvr"] == "ok"
+
+    def test_unknown_dense_feature_ignored(self, trained_world):
+        sentinel, _, _ = self.make_sentinel(trained_world)
+        sentinel.observe(dense={"not_a_feature": np.ones(10)})
+        assert sentinel.status() == "ok"
+
+    def test_report_and_reset(self, trained_world):
+        sentinel, _, _ = self.make_sentinel(trained_world)
+        sentinel.observe(o_hat=np.full(400, 0.999))
+        report = sentinel.report()
+        assert report["propensity"]["status"] == "trip"
+        sentinel.reset()
+        assert sentinel.status() == "ok"

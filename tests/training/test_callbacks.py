@@ -13,6 +13,7 @@ from repro.reliability import FaultInjector, FaultSpec, LossGuardConfig
 from repro.training import TrainConfig, TrainingEngine
 from repro.training.callbacks import (
     Callback,
+    DriftReferenceCallback,
     FaultInjectionCallback,
     LossGuardCallback,
     LRSchedulerCallback,
@@ -298,3 +299,73 @@ class TestCheckpointMetadataProtocol:
         snapshot = manager.load(manager.latest())
         assert snapshot.metadata["experiment_tag"] == "callbacks-lane"
         assert snapshot.metadata["model_name"] == "dcmt"
+
+
+class TestDriftReferenceCallback:
+    def test_reference_captured_on_fit_end(self, world, model):
+        train, _ = world
+        callback = DriftReferenceCallback(sample=256, bins=8, seed=5)
+        TrainingEngine(model, make_config(), callbacks=[callback]).fit(train)
+        reference = callback.reference
+        assert reference is not None
+        assert set(reference.dense) == set(train.dense)
+        assert len(reference.propensity.counts) == 8
+
+    def test_reference_persisted_and_loadable(self, world, model, tmp_path):
+        from repro.reliability.drift import DriftReference
+
+        train, _ = world
+        path = tmp_path / "drift_reference.json"
+        callback = DriftReferenceCallback(sample=256, path=path)
+        TrainingEngine(model, make_config(), callbacks=[callback]).fit(train)
+        assert path.exists()
+        loaded = DriftReference.load(path)
+        np.testing.assert_allclose(
+            loaded.propensity.counts, callback.reference.propensity.counts
+        )
+
+    def test_checkpoint_metadata_points_at_reference(self, world, model, tmp_path):
+        from repro.reliability.checkpoint import CheckpointManager
+        from repro.training.callbacks import CheckpointCallback
+
+        train, test = world
+        path = tmp_path / "drift_reference.json"
+        engine = TrainingEngine(
+            model,
+            make_config(epochs=1),
+            callbacks=[
+                ValidationCallback(),
+                CheckpointCallback(tmp_path),
+                DriftReferenceCallback(sample=128, path=path),
+            ],
+        )
+        engine.fit(train, validation=test)
+        manager = CheckpointManager(tmp_path, keep=1)
+        snapshot = manager.load(manager.latest())
+        assert snapshot.metadata["drift_reference_path"] == str(path)
+
+    def test_no_metadata_without_a_path(self, world, model):
+        callback = DriftReferenceCallback(sample=64)
+        assert callback.checkpoint_metadata(None) == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftReferenceCallback(sample=0)
+        with pytest.raises(ValueError):
+            DriftReferenceCallback(bins=1)
+
+    def test_reference_feeds_a_serving_sentinel(self, world, model):
+        """End to end: train, freeze reference, watch live traffic."""
+        from repro.reliability.drift import DriftSentinel, DriftThresholds
+
+        train, _ = world
+        callback = DriftReferenceCallback(sample=512, seed=0)
+        TrainingEngine(model, make_config(), callbacks=[callback]).fit(train)
+        sentinel = DriftSentinel(
+            callback.reference, DriftThresholds(min_samples=100)
+        )
+        preds = model.predict(train.subset(np.arange(400)).full_batch())
+        sentinel.observe(o_hat=preds.ctr, cvr=preds.cvr)
+        assert sentinel.status() == "ok"  # in-distribution traffic
+        sentinel.observe(o_hat=np.full(400, 0.999))
+        assert sentinel.statuses()["propensity"] == "trip"
