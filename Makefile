@@ -1,6 +1,6 @@
 # Convenience targets for the DCMT reproduction.
 
-.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest
+.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest verify-lifecycle
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,9 +18,9 @@ lint:
 		echo "ruff not installed; skipping lint"; \
 	fi
 
-# The CI gate: lint, the robustness and ingest lanes, then the full
-# tier-1 suite from a clean checkout -- every PR runs all of it.
-verify: lint verify-robustness verify-ingest
+# The CI gate: lint, the robustness, ingest, and lifecycle lanes, then
+# the full tier-1 suite from a clean checkout -- every PR runs all of it.
+verify: lint verify-robustness verify-ingest verify-lifecycle
 	PYTHONPATH=src python -m pytest -x -q tests/
 
 # Every test tagged `robustness`: degenerate-batch hardening plus the
@@ -38,6 +38,11 @@ verify-ingest:
 # (ordering, vetoes, LR scheduling, checkpoint metadata).
 verify-callbacks:
 	PYTHONPATH=src pytest -m callbacks tests/
+
+# Every test tagged `lifecycle`: the model registry, promotion gate,
+# canary rollout, and the seeded end-to-end chaos drill.
+verify-lifecycle:
+	PYTHONPATH=src pytest -m lifecycle tests/
 
 # Throughput-only benches (dense/sparse training + inference); writes
 # BENCH_throughput.json at the repo root with measured rows/s, the

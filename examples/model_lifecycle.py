@@ -1,0 +1,134 @@
+"""Model lifecycle tour: registry, promotion gate, canary, rollback.
+
+Walks one model through the full continual-training lifecycle that
+``src/repro/lifecycle`` builds around the feedback loop:
+
+1. train DCMT and publish it into the content-addressed
+   :class:`~repro.lifecycle.registry.ModelRegistry` (it bootstraps to
+   champion -- there is nothing to regress against yet);
+2. retrain and submit a *candidate*; the
+   :class:`~repro.lifecycle.gate.PromotionGate` shadow-scores it
+   against the champion (AUC/calibration regression bounds, propensity
+   floor, NaN sanity, drift vs the champion's frozen reference);
+3. stage the gated candidate on a deterministic hash-split *canary*
+   slice of live traffic, with its own circuit breaker, health state
+   machine, and drift sentinel, then promote on a clean verdict;
+4. demonstrate that a sabotaged candidate (NaN weights) is rejected at
+   the gate and never reaches traffic;
+5. roll the champion back to the previous version bit-exactly and
+   print the registry's full audit timeline.
+
+Run with::
+
+    PYTHONPATH=src python examples/model_lifecycle.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.data import load_scenario
+from repro.lifecycle import (
+    CanaryPolicy,
+    ModelLifecycleManager,
+    ModelRegistry,
+    model_digest,
+)
+from repro.models import ModelConfig, build_model
+from repro.reliability.drift import DriftReference
+from repro.training import TrainConfig, fit_model
+from repro.utils.logging import enable_console_logging
+
+
+def main() -> None:
+    enable_console_logging()
+    rng = np.random.default_rng(0)
+
+    train, test, scenario = load_scenario(
+        "ae_es", n_users=200, n_items=300, n_train=8_000, n_test=2_000
+    )
+    model_config = ModelConfig(embedding_dim=8, hidden_sizes=(16,), seed=0)
+    train_config = TrainConfig(epochs=2, batch_size=256, seed=0)
+
+    def factory():
+        return build_model("dcmt", scenario.schema, model_config)
+
+    with tempfile.TemporaryDirectory() as root:
+        manager = ModelLifecycleManager(
+            ModelRegistry(root),
+            factory,
+            canary_policy=CanaryPolicy(traffic_fraction=0.25, min_requests=40),
+        )
+
+        # -- 1. first train bootstraps to champion ---------------------
+        model = factory()
+        fit_model(model, train, train_config)
+        reference = DriftReference.capture(model, train, seed=0)
+        decision = manager.submit(
+            model, test, train_config=train_config, reference=reference,
+            note="initial train",
+        )
+        print(f"\n[1] first submit: {decision.action} as {decision.version}")
+
+        # -- 2. retrain, shadow-review against the champion ------------
+        retrain = factory()
+        fit_model(retrain, train, train_config)
+        decision = manager.submit(
+            retrain, test, train_config=train_config,
+            reference=DriftReference.capture(retrain, train, seed=0),
+            note="scheduled retrain",
+        )
+        print(f"[2] retrain gate: {decision.action} ({decision.reason})")
+        for check in decision.gate.checks:
+            mark = "pass" if check.passed else "FAIL"
+            print(f"      {mark}  {check.name}: {check.detail}")
+
+        # -- 3. canary the staged candidate on live traffic ------------
+        rollout = manager.build_canary(scenario, page_size=5)
+        n_users, n_items = scenario.config.n_users, scenario.config.n_items
+        for _ in range(200):
+            user = int(rng.integers(0, n_users))
+            candidates = rng.choice(n_items, size=20, replace=False)
+            rollout.serve_page(user, candidates, rng)
+        health = rollout.arm_health()
+        print(
+            f"[3] canary traffic: "
+            f"champion={health['champion']['routed_requests']} "
+            f"candidate={health['candidate']['routed_requests']} pages"
+        )
+        decision = manager.conclude_canary(rollout)
+        print(f"    verdict: {decision.action} ({decision.reason}); "
+              f"champion is now {manager.champion.version}")
+
+        # -- 4. a poisoned retrain never reaches traffic ---------------
+        poisoned = factory()
+        fit_model(poisoned, train, train_config)
+        bad = poisoned.parameters()[0]
+        bad.data[...] = np.nan
+        decision = manager.submit(
+            poisoned, test, train_config=train_config, note="poisoned retrain"
+        )
+        print(f"[4] poisoned submit: {decision.action} ({decision.reason})")
+
+        # -- 5. rollback restores the prior champion bit-exactly -------
+        before = manager.champion.version
+        decision = manager.rollback(reason="operator drill")
+        restored = manager.champion_model()
+        entry = manager.champion
+        assert model_digest(restored) == entry.params_digest
+        print(
+            f"[5] rollback: {before} -> {entry.version}; loaded parameters "
+            f"hash-match the registry entry ({entry.params_digest[:16]})"
+        )
+
+        print("\nregistry timeline:")
+        for event in manager.registry.events():
+            print(f"  #{event.sequence:<3d} {event.action:<10s} "
+                  f"{event.version:<6s} {event.reason}")
+        print("\nlifecycle decisions:")
+        for d in manager.decisions:
+            print(f"  {d.version:<6s} {d.action:<10s} {d.reason}")
+
+
+if __name__ == "__main__":
+    main()

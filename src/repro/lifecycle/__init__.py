@@ -1,0 +1,79 @@
+"""Model lifecycle: versioned registry, promotion gates, canary, rollback.
+
+DCMT's entire-space losses are weighted by ``1/o_hat``, so one bad
+retrain -- propensity collapse, drift between train and serve, a
+corrupted checkpoint -- silently poisons every downstream estimate.
+This package makes every model swap in the continual-training loop
+safe, observable, and reversible:
+
+* :mod:`~repro.lifecycle.registry` -- content-addressed
+  :class:`ModelRegistry`: immutable versions with lineage (parent,
+  train-config hash, metrics), atomic temp-file+rename publication, and
+  bit-exact load-back verification;
+* :mod:`~repro.lifecycle.gate` -- :class:`PromotionGate` shadow-scores
+  each candidate against the live champion (AUC/calibration regression
+  bounds, propensity-collapse and NaN/range sanity, PSI/KS drift vs the
+  champion's frozen reference);
+* :mod:`~repro.lifecycle.canary` -- :class:`CanaryRollout` stages a
+  gated candidate on a deterministic hash-based slice of traffic with
+  per-arm breaker/health/drift isolation and automatic demotion;
+* :mod:`~repro.lifecycle.manager` -- :class:`ModelLifecycleManager`
+  drives publish -> gate -> canary -> promote, records every decision,
+  and exposes ``rollback(version)`` restoring a prior champion whose
+  parameters hash-match the registry entry.
+
+The chaos drill in ``tests/lifecycle/test_lifecycle_chaos.py`` pins the
+whole machine: a regressing, drifting, or NaN candidate is never
+promoted, and a kill at any point during publish/promote leaves the
+registry loadable with the prior champion serving.
+"""
+
+from repro.lifecycle.canary import (
+    CANDIDATE_ARM,
+    CHAMPION_ARM,
+    DEMOTE,
+    PENDING,
+    PROMOTE,
+    CanaryPolicy,
+    CanaryRollout,
+)
+from repro.lifecycle.gate import GateCheck, GatePolicy, GateReport, PromotionGate
+from repro.lifecycle.manager import LifecycleDecision, ModelLifecycleManager
+from repro.lifecycle.registry import (
+    CANDIDATE,
+    CHAMPION,
+    REJECTED,
+    RETIRED,
+    ModelRegistry,
+    ModelVersion,
+    RegistryEvent,
+    hash_train_config,
+    model_digest,
+    param_digest,
+)
+
+__all__ = [
+    "CANDIDATE",
+    "CHAMPION",
+    "RETIRED",
+    "REJECTED",
+    "CANDIDATE_ARM",
+    "CHAMPION_ARM",
+    "PENDING",
+    "PROMOTE",
+    "DEMOTE",
+    "CanaryPolicy",
+    "CanaryRollout",
+    "GateCheck",
+    "GatePolicy",
+    "GateReport",
+    "PromotionGate",
+    "LifecycleDecision",
+    "ModelLifecycleManager",
+    "ModelRegistry",
+    "ModelVersion",
+    "RegistryEvent",
+    "hash_train_config",
+    "model_digest",
+    "param_digest",
+]

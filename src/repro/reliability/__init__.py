@@ -51,7 +51,9 @@ from repro.reliability.drift import (
 from repro.reliability.errors import (
     CheckpointCorruptError,
     DivergenceError,
+    PromotionBlockedError,
     PropensityCollapseWarning,
+    RegistryCorruptError,
     ReliabilityError,
     RequestShedError,
     ScoringUnavailableError,
@@ -101,6 +103,8 @@ __all__ = [
     "ReliabilityError",
     "CheckpointCorruptError",
     "DivergenceError",
+    "PromotionBlockedError",
+    "RegistryCorruptError",
     "ScoringUnavailableError",
     "PropensityCollapseWarning",
     "FaultInjector",

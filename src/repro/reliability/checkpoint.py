@@ -109,6 +109,16 @@ def dumps_snapshot(snapshot: TrainingSnapshot) -> bytes:
 
 def loads_snapshot(data: bytes) -> TrainingSnapshot:
     """Parse framed checkpoint bytes, verifying magic and checksum."""
+    header_len = len(MAGIC) + 65  # magic + 64 hex digits + newline
+    if len(data) < header_len:
+        # Distinguish a torn write of a real checkpoint (prefix of the
+        # magic survives) from a file that was never a checkpoint.
+        if MAGIC.startswith(data[: len(MAGIC)]):
+            raise CheckpointCorruptError(
+                f"truncated checkpoint: {len(data)} bytes is shorter than "
+                f"the {header_len}-byte frame header"
+            )
+        raise CheckpointCorruptError("bad magic: not a repro checkpoint")
     if not data.startswith(MAGIC):
         raise CheckpointCorruptError("bad magic: not a repro checkpoint")
     rest = data[len(MAGIC) :]
@@ -120,7 +130,9 @@ def loads_snapshot(data: bytes) -> TrainingSnapshot:
     actual = hashlib.sha256(payload).hexdigest()
     if actual != digest:
         raise CheckpointCorruptError(
-            f"checksum mismatch: header {digest[:12]}..., payload {actual[:12]}..."
+            "checksum mismatch (truncated or bit-rotted payload): "
+            f"expected {digest}, actual {actual} over {len(payload)} "
+            "payload bytes"
         )
     try:
         with np.load(io.BytesIO(payload), allow_pickle=False) as archive:
@@ -166,7 +178,12 @@ def loads_snapshot(data: bytes) -> TrainingSnapshot:
 
 
 def save_snapshot(snapshot: TrainingSnapshot, path: "Path | str") -> Path:
-    """Write one snapshot atomically (temp file + rename)."""
+    """Write one snapshot atomically (temp file, fsync, rename).
+
+    A kill at any point leaves either the old file or the new file under
+    the canonical name, never a partial write; the directory is fsynced
+    after the rename so the publication itself survives a power loss.
+    """
     path = Path(path)
     data = dumps_snapshot(snapshot)
     tmp = path.with_name(path.name + ".tmp")
@@ -175,7 +192,27 @@ def save_snapshot(snapshot: TrainingSnapshot, path: "Path | str") -> Path:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    fsync_directory(path.parent)
     return path
+
+
+def fsync_directory(directory: "Path | str") -> None:
+    """Flush a directory entry so a completed rename is durable.
+
+    Best-effort: some filesystems (and all of Windows) refuse to open a
+    directory for fsync; atomicity of the rename itself does not depend
+    on this, only crash-durability of the new directory entry.
+    """
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 
 def load_snapshot(path: "Path | str") -> TrainingSnapshot:
@@ -247,3 +284,12 @@ class CheckpointManager:
     def _rotate(self) -> None:
         for stale in self.paths()[: -self.keep or None]:
             stale.unlink(missing_ok=True)
+        # A kill between the temp-file write and the rename strands a
+        # ``*.tmp`` next to the real snapshots; it is never loadable
+        # (``paths`` only matches ``*.ckpt``), so sweep it here.
+        for orphan in self.directory.glob("ckpt-*.ckpt.tmp"):
+            orphan.unlink(missing_ok=True)
+            logger.warning(
+                "removed orphaned partial checkpoint %s (interrupted save)",
+                orphan.name,
+            )

@@ -84,6 +84,16 @@ class CircuitBreaker:
         self._state = self.CLOSED
         self._consecutive_failures = 0
 
+    def snapshot(self) -> dict:
+        """Structured view for dashboards and the canary health report."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "total_failures": self.total_failures,
+            "total_successes": self.total_successes,
+            "times_opened": self.times_opened,
+        }
+
     def _open(self) -> None:
         self._state = self.OPEN
         self._opened_at = self._clock()

@@ -53,6 +53,27 @@ class RequestShedError(ReliabilityError):
     """
 
 
+class RegistryCorruptError(ReliabilityError):
+    """A model-registry entry failed digest or structural verification.
+
+    Raised by :class:`~repro.lifecycle.registry.ModelRegistry` when a
+    stored parameter blob does not hash-match its manifest entry (bit
+    rot, torn write, manual tampering) or the manifest itself is
+    unreadable.  The registry never serves or promotes a version that
+    fails this check.
+    """
+
+
+class PromotionBlockedError(ReliabilityError):
+    """A lifecycle promotion was refused.
+
+    Raised when a caller tries to promote a version the registry cannot
+    vouch for: unknown, explicitly rejected by the promotion gate, or
+    failing bit-exact load-back verification.  The current champion
+    keeps serving.
+    """
+
+
 class PropensityCollapseWarning(UserWarning):
     """The propensity head is piling up at the clip boundary.
 

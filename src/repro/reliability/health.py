@@ -15,14 +15,19 @@ three dashboards:
 
 Escalation is immediate; de-escalation steps down one level only after
 ``recovery_grace`` consecutive clean evaluations, so one good request
-cannot flap the service back to HEALTHY mid-incident.  Every
-transition is recorded with its reason for forensics and tests.
+cannot flap the service back to HEALTHY mid-incident.  A *fresh*
+degradation signal during that grace period (the target severity rising
+between evaluations, e.g. a breaker trip while SHEDDING is pending its
+step-down) re-arms the counter instead of riding the pending step-down.
+Every transition is recorded with its reason for forensics and tests,
+and :meth:`HealthMonitor.snapshot` exposes the machine's full state for
+per-arm dashboards (the canary controller's health view).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 HEALTHY = "healthy"
 DEGRADED = "degraded"
@@ -76,6 +81,10 @@ class HealthMonitor:
     _state: str = HEALTHY
     _steps: int = 0
     _calm: int = 0
+    #: Severity rank of the previous evaluation's target (re-arm logic).
+    _last_target_rank: int = 0
+    #: Raw signals of the most recent evaluation, for :meth:`snapshot`.
+    _last_signals: Dict[str, Any] = field(default_factory=dict)
     transitions: List[HealthTransition] = field(default_factory=list)
 
     @property
@@ -110,21 +119,49 @@ class HealthMonitor:
         """Fold one evaluation of the signals into the state machine."""
         self._steps += 1
         target, reason = self._target(breaker_open, drift_status, queue_fraction)
+        self._last_signals = {
+            "breaker_open": breaker_open,
+            "drift_status": drift_status,
+            "queue_fraction": queue_fraction,
+            "target": target,
+        }
+        escalating = _RANK[target] > self._last_target_rank
+        self._last_target_rank = _RANK[target]
         if _RANK[target] > _RANK[self._state]:
             self._move(target, reason)
             self._calm = 0
         elif _RANK[target] < _RANK[self._state]:
-            self._calm += 1
-            if self._calm >= self.policy.recovery_grace:
-                step_down = _BY_RANK[_RANK[self._state] - 1]
-                self._move(
-                    step_down,
-                    f"recovered after {self._calm} clean evaluations",
-                )
+            if escalating:
+                # A fresh degradation (e.g. a breaker trip while the
+                # SHEDDING step-down is pending) is not a clean
+                # evaluation: re-arm the grace counter instead of
+                # letting the stale countdown step the service down.
                 self._calm = 0
+            else:
+                self._calm += 1
+                if self._calm >= self.policy.recovery_grace:
+                    step_down = _BY_RANK[_RANK[self._state] - 1]
+                    self._move(
+                        step_down,
+                        f"recovered after {self._calm} clean evaluations",
+                    )
+                    self._calm = 0
         else:
             self._calm = 0
         return self._state
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Structured view of the machine for dashboards and canaries."""
+        return {
+            "state": self._state,
+            "steps": self._steps,
+            "calm": self._calm,
+            "n_transitions": len(self.transitions),
+            "last_reason": (
+                self.transitions[-1].reason if self.transitions else ""
+            ),
+            "signals": dict(self._last_signals),
+        }
 
     def _move(self, to_state: str, reason: str) -> None:
         self.transitions.append(

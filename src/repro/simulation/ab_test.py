@@ -32,6 +32,7 @@ from repro.metrics.stats import LiftResult, two_proportion_test
 from repro.models.base import MultiTaskModel
 from repro.simulation.behavior import BehaviorSimulator
 from repro.simulation.serving import RankingService
+from repro.utils.hashing import stable_bucket
 from repro.utils.logging import get_logger
 
 logger = get_logger("simulation")
@@ -55,6 +56,12 @@ class ABTestConfig:
     #: User behaviour mode: "independent" per-impression clicks, or
     #: "single_choice" (at most one click per page).
     behavior_mode: str = "independent"
+    #: Bucket assignment: "round_robin" (user id modulo bucket count,
+    #: the historical default) or "hash" (salted SHA-256 bucketing via
+    #: :func:`repro.utils.hashing.stable_bucket`, the same primitive the
+    #: canary rollout splits traffic with -- stable under bucket
+    #: renames and reproducible across processes).
+    assignment: str = "round_robin"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -64,6 +71,11 @@ class ABTestConfig:
             raise ValueError("page_size cannot exceed candidates_per_page")
         if self.top_k > self.page_size:
             raise ValueError("top_k cannot exceed page_size")
+        if self.assignment not in ("round_robin", "hash"):
+            raise ValueError(
+                "assignment must be 'round_robin' or 'hash', "
+                f"got {self.assignment!r}"
+            )
 
 
 @dataclass
@@ -170,13 +182,31 @@ class ABTest:
             for name, model in models.items()
         }
         self.behavior = BehaviorSimulator(scenario, mode=self.config.behavior_mode)
-        # Disjoint user assignment: hash users round-robin to buckets.
+        # Disjoint user assignment: round-robin (modulo) or salted hash.
         names = sorted(models)
         n_users = scenario.config.n_users
-        self._bucket_users = {
-            name: np.arange(n_users)[np.arange(n_users) % len(names) == i]
-            for i, name in enumerate(names)
-        }
+        if self.config.assignment == "hash":
+            buckets = np.array(
+                [
+                    stable_bucket(u, len(names), salt=self.config.seed)
+                    for u in range(n_users)
+                ]
+            )
+            self._bucket_users = {
+                name: np.arange(n_users)[buckets == i]
+                for i, name in enumerate(names)
+            }
+        else:
+            self._bucket_users = {
+                name: np.arange(n_users)[np.arange(n_users) % len(names) == i]
+                for i, name in enumerate(names)
+            }
+        empty = [n for n, u in self._bucket_users.items() if len(u) == 0]
+        if empty:
+            raise ValueError(
+                f"bucket(s) {empty} received no users; increase n_users "
+                "or change the assignment seed"
+            )
 
     # ------------------------------------------------------------------
     def run(self) -> ABTestResult:

@@ -16,19 +16,32 @@ gains that a stationary simulator cannot show.
 3. after every round the model is evaluated on a *fixed, policy-free*
    test set (uniform random exposure), so degradation or improvement
    across rounds is attributable to the data the policy collected.
+
+When a :class:`~repro.lifecycle.manager.ModelLifecycleManager` is
+attached, step 2 stops trusting the fresh retrain blindly: the model is
+published to the registry, shadow-reviewed by the promotion gate
+against the serving champion, and -- if it passes -- staged on a canary
+slice of the very serving round that logs the next pool of training
+data.  Only a candidate that survives both gates takes over as
+champion; rejected or demoted retrains leave the previous champion
+serving, and the round is evaluated on whatever model actually holds
+the traffic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.data.dataset import InteractionDataset
 from repro.data.synthetic import SyntheticScenario
+from repro.lifecycle.manager import ModelLifecycleManager
 from repro.metrics.ranking import auc
 from repro.models.base import MultiTaskModel
+from repro.reliability.drift import DriftReference
+from repro.reliability.errors import RequestShedError
 from repro.simulation.behavior import BehaviorSimulator
 from repro.simulation.serving import RankingService
 from repro.training import TrainConfig, fit_model
@@ -63,6 +76,11 @@ class RoundMetrics:
     cvr_auc_do: Optional[float]
     training_rows: int
     logged_ctr: float
+    #: Registry version actually serving after this round (lifecycle
+    #: mode only; ``None`` in the unmanaged loop).
+    champion_version: Optional[str] = None
+    #: Pages refused by admission control during this round's serving.
+    shed_pages: int = 0
 
     def as_row(self) -> List[object]:
         return [
@@ -83,20 +101,31 @@ class FeedbackLoopExperiment:
         model_factory: Callable[[], MultiTaskModel],
         train_config: TrainConfig,
         config: Optional[FeedbackConfig] = None,
+        lifecycle: Optional[ModelLifecycleManager] = None,
     ) -> None:
         self.scenario = scenario
         self.model_factory = model_factory
         self.train_config = train_config
         self.config = config or FeedbackConfig()
         self.behavior = BehaviorSimulator(scenario)
+        #: Optional lifecycle manager; when set, every retrain passes
+        #: the promotion gate and a canary slice before taking traffic.
+        self.lifecycle = lifecycle
 
     # ------------------------------------------------------------------
     def _log_served_round(
-        self, model: MultiTaskModel, rng: np.random.Generator
-    ) -> InteractionDataset:
-        """Serve one round with ``model`` and log it as training data."""
+        self,
+        serve_page: Callable[..., Tuple[np.ndarray, np.ndarray]],
+        rng: np.random.Generator,
+    ) -> Tuple[Optional[InteractionDataset], int]:
+        """Serve one round through ``serve_page``; log it as training data.
+
+        Returns the logged dataset (``None`` if every page was shed) and
+        the number of shed pages.  ``serve_page`` is either a plain
+        :meth:`RankingService.serve_page` or a canary rollout's
+        arm-routing equivalent.
+        """
         cfg = self.config
-        service = RankingService(model, self.scenario, page_size=cfg.page_size)
         n_users = self.scenario.config.n_users
         n_items = self.scenario.config.n_items
         users_col: List[np.ndarray] = []
@@ -104,25 +133,35 @@ class FeedbackLoopExperiment:
         positions_col: List[np.ndarray] = []
         clicks_col: List[np.ndarray] = []
         conversions_col: List[np.ndarray] = []
+        shed = 0
         for _ in range(cfg.pages_per_round):
             user = int(rng.integers(0, n_users))
             candidates = rng.choice(
                 n_items, size=cfg.candidates_per_page, replace=False
             )
-            page, _ = service.serve_page(user, candidates, rng)
+            try:
+                page, _ = serve_page(user, candidates, rng)
+            except RequestShedError:
+                shed += 1
+                continue
             outcome = self.behavior.roll_out(user, page, rng)
             users_col.append(np.full(len(page), user))
             items_col.append(page)
             positions_col.append(outcome.positions)
             clicks_col.append(outcome.clicks)
             conversions_col.append(outcome.conversions)
-        return self._build_dataset(
-            np.concatenate(users_col),
-            np.concatenate(items_col),
-            np.concatenate(positions_col),
-            np.concatenate(clicks_col),
-            np.concatenate(conversions_col),
-            rng,
+        if not users_col:
+            return None, shed
+        return (
+            self._build_dataset(
+                np.concatenate(users_col),
+                np.concatenate(items_col),
+                np.concatenate(positions_col),
+                np.concatenate(clicks_col),
+                np.concatenate(conversions_col),
+                rng,
+            ),
+            shed,
         )
 
     def _build_dataset(
@@ -175,12 +214,76 @@ class FeedbackLoopExperiment:
             )
         ]
         results: List[RoundMetrics] = []
-        model = None
         for round_index in range(self.config.rounds):
             training = self._concat(pool)
             model = self.model_factory()
             fit_model(model, training, self.train_config)
-            preds = model.predict(test_set.full_batch())
+            serving_model = model
+            champion_version: Optional[str] = None
+            shed = 0
+            wants_pool = round_index < self.config.rounds - 1
+
+            if self.lifecycle is None:
+                if wants_pool:
+                    service = RankingService(
+                        model, self.scenario, page_size=self.config.page_size
+                    )
+                    served, shed = self._log_served_round(
+                        service.serve_page, rng
+                    )
+                    if served is not None:
+                        pool.append(served)
+            else:
+                reference = DriftReference.capture(
+                    model, training, seed=self.config.seed
+                )
+                decision = self.lifecycle.submit(
+                    model,
+                    test_set,
+                    train_config=self.train_config,
+                    reference=reference,
+                    note=f"feedback round {round_index}",
+                )
+                staged = self.lifecycle.staged_version is not None
+                # A staged candidate earns (or loses) the champion slot
+                # on the canary slice of this round's serving traffic;
+                # the final round still canaries so no candidate ends
+                # the run undecided, its log simply feeds no retrain.
+                if staged:
+                    rollout = self.lifecycle.build_canary(
+                        self.scenario, page_size=self.config.page_size
+                    )
+                    served, shed = self._log_served_round(
+                        rollout.serve_page, rng
+                    )
+                    self.lifecycle.conclude_canary(rollout)
+                elif wants_pool:
+                    champion_model = self.lifecycle.champion_model()
+                    service = RankingService(
+                        champion_model or model,
+                        self.scenario,
+                        page_size=self.config.page_size,
+                    )
+                    served, shed = self._log_served_round(
+                        service.serve_page, rng
+                    )
+                else:
+                    served = None
+                if wants_pool and served is not None:
+                    pool.append(served)
+                champion = self.lifecycle.champion
+                if champion is not None:
+                    champion_version = champion.version
+                    serving_model = self.lifecycle.champion_model() or model
+                logger.info(
+                    "round %d lifecycle: %s -> %s (champion=%s)",
+                    round_index,
+                    decision.version,
+                    self.lifecycle.decisions[-1].action,
+                    champion_version,
+                )
+
+            preds = serving_model.predict(test_set.full_batch())
             cvr_auc = auc(test_set.conversions, preds.cvr)
             cvr_auc_do = (
                 auc(test_set.oracle_conversion, preds.cvr)
@@ -194,6 +297,8 @@ class FeedbackLoopExperiment:
                     cvr_auc_do=cvr_auc_do,
                     training_rows=len(training),
                     logged_ctr=float(training.ctr),
+                    champion_version=champion_version,
+                    shed_pages=shed,
                 )
             )
             logger.info(
@@ -202,6 +307,4 @@ class FeedbackLoopExperiment:
                 len(training),
                 cvr_auc,
             )
-            if round_index < self.config.rounds - 1:
-                pool.append(self._log_served_round(model, rng))
         return results

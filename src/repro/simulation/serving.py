@@ -243,6 +243,48 @@ class RankingService:
         self._shed_phase = 0
 
     # ------------------------------------------------------------------
+    def swap_model(self, model: MultiTaskModel) -> None:
+        """Replace the primary scorer in place (promotion / rollback).
+
+        The incoming model is validated exactly like the constructor's
+        (a diverged or half-loaded model is refused before it can take
+        traffic), the breaker is reset so the new model starts with a
+        clean failure budget, and the drift sentinel's serving window is
+        cleared so the old model's prediction distribution cannot trip
+        (or mask) drift on the new one.  Stats and health transitions
+        are retained -- a swap is an event inside one serving timeline,
+        not a new service.
+        """
+        _validate_scoring_model(model, "model")
+        self.model = model
+        self.breaker.reset()
+        if self.sentinel is not None:
+            self.sentinel.reset()
+        self._last_ctr = None
+        log_event(logger, "model_swapped", breaker=self.breaker.state)
+
+    def health_snapshot(self) -> Dict[str, object]:
+        """One structured view of every degradation signal.
+
+        The canary controller renders this per arm; operators get the
+        health state, breaker counters, queue depth, shed count, and
+        drift status without cross-referencing four objects.
+        """
+        return {
+            "health": self.health.snapshot(),
+            "breaker": self.breaker.snapshot(),
+            "queue_depth": self.admission.depth,
+            "queue_capacity": self.admission.policy.max_queue_depth,
+            "shed": self.stats.shed,
+            "requests": self.stats.requests,
+            "degraded_fraction": self.stats.degraded_fraction,
+            "sanitizer_rejections": self.stats.sanitizer_rejections,
+            "drift": (
+                "ok" if self.sentinel is None else self.sentinel.status()
+            ),
+        }
+
+    # ------------------------------------------------------------------
     def _features(
         self,
         user: int,

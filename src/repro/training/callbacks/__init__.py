@@ -18,7 +18,10 @@ monolith is one class here, attachable to any
   guard-aware;
 * :class:`ValidationCallback` -- epoch-end evaluation and early stopping;
 * :class:`DriftReferenceCallback` -- freezes the training-time
-  feature/propensity/CVR distributions for the serving drift sentinels.
+  feature/propensity/CVR distributions for the serving drift sentinels;
+* :class:`LifecycleCallback` -- publishes the finished model into the
+  versioned :class:`~repro.lifecycle.registry.ModelRegistry` as a
+  promotion-gate candidate.
 
 See :mod:`repro.training.callbacks.base` for the hook protocol and its
 ordering guarantees.
@@ -29,6 +32,7 @@ from repro.training.callbacks.checkpoint import CheckpointCallback
 from repro.training.callbacks.drift import DriftReferenceCallback
 from repro.training.callbacks.faults import FaultInjectionCallback
 from repro.training.callbacks.guard import LossGuardCallback
+from repro.training.callbacks.lifecycle import LifecycleCallback
 from repro.training.callbacks.monitor import PropensityMonitorCallback
 from repro.training.callbacks.profiling import OpProfilerCallback
 from repro.training.callbacks.scheduling import LRSchedulerCallback
@@ -41,6 +45,7 @@ __all__ = [
     "CheckpointCallback",
     "DriftReferenceCallback",
     "FaultInjectionCallback",
+    "LifecycleCallback",
     "LossGuardCallback",
     "PropensityMonitorCallback",
     "OpProfilerCallback",

@@ -1,0 +1,93 @@
+"""Publish each finished training run into the model registry.
+
+The registry's invariant is "no model serves unless it was published,
+verified, and promoted" -- this callback closes the loop on the
+training side: on normal fit completion the freshly trained parameters
+become a content-addressed registry *candidate*, carrying the training
+config hash, the final/best losses, and (when a
+:class:`~repro.training.callbacks.drift.DriftReferenceCallback` runs
+earlier in the stack) the path of the frozen drift reference that the
+promotion gate and canary sentinel will compare serving traffic
+against.
+
+Publishing is not promoting: the candidate still has to clear the
+:class:`~repro.lifecycle.gate.PromotionGate` and the canary before it
+takes traffic.  Attach the callback *after* the drift-reference
+callback so the reference exists when the version is written.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.lifecycle.registry import ModelRegistry, ModelVersion
+from repro.training.callbacks.base import Callback, TrainingContext
+from repro.training.callbacks.drift import DriftReferenceCallback
+from repro.utils.logging import get_logger, log_event
+
+logger = get_logger("training.callbacks.lifecycle")
+
+
+class LifecycleCallback(Callback):
+    """Registers the trained model as a registry candidate at fit end.
+
+    Parameters
+    ----------
+    registry:
+        Destination :class:`~repro.lifecycle.registry.ModelRegistry`.
+    drift_callback:
+        Optional sibling :class:`DriftReferenceCallback`; when it has
+        persisted a reference to disk, the path is recorded on the
+        published version so serving can rebuild the sentinel without
+        the training data.
+    note:
+        Free-form provenance recorded on the version (e.g. the
+        experiment name or feedback-loop round).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        drift_callback: Optional[DriftReferenceCallback] = None,
+        note: str = "",
+    ) -> None:
+        self.registry = registry
+        self.drift_callback = drift_callback
+        self.note = note
+        #: The version published by the most recent completed fit.
+        self.version: Optional[ModelVersion] = None
+
+    def on_fit_end(self, ctx: TrainingContext) -> None:
+        history = ctx.history
+        metrics: Dict[str, float] = {}
+        if history.epoch_losses:
+            metrics["final_train_loss"] = float(history.epoch_losses[-1])
+        if history.validation_cvr_auc:
+            metrics["validation_cvr_auc"] = float(history.validation_cvr_auc[-1])
+            metrics["best_val_metric"] = float(ctx.best_metric)
+        reference_path = None
+        if (
+            self.drift_callback is not None
+            and self.drift_callback.path is not None
+            and self.drift_callback.reference is not None
+        ):
+            reference_path = self.drift_callback.path
+        self.version = self.registry.publish(
+            ctx.model,
+            train_config=ctx.config,
+            metrics=metrics,
+            drift_reference_path=reference_path,
+            note=self.note,
+        )
+        log_event(
+            logger,
+            "candidate_published",
+            version=self.version.version,
+            digest=self.version.params_digest[:16],
+            epochs=len(history.epoch_losses),
+        )
+
+    def checkpoint_metadata(self, ctx: TrainingContext) -> Dict[str, Any]:
+        if self.version is None:
+            return {}
+        return {"registry_version": self.version.version}

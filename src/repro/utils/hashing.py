@@ -1,0 +1,36 @@
+"""Deterministic traffic-splitting hashes.
+
+Python's builtin ``hash`` is randomized per process, and numpy RNGs are
+stateful -- neither gives the property a traffic splitter needs: the
+same key always lands in the same bucket, in every process, on every
+run, with no coordination.  These helpers derive that assignment from
+SHA-256 over ``"<salt>:<key>"``, so the canary router
+(:mod:`repro.lifecycle.canary`) and the A/B harness
+(:mod:`repro.simulation.ab_test`) agree on who sees what by
+construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+_HASH_BITS = 64
+_HASH_SPACE = float(1 << _HASH_BITS)
+
+
+def stable_hash64(key: object, salt: int = 0) -> int:
+    """First 64 bits of ``sha256(f"{salt}:{key}")`` as an unsigned int."""
+    digest = hashlib.sha256(f"{salt}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def stable_fraction(key: object, salt: int = 0) -> float:
+    """Deterministic uniform-ish value in ``[0, 1)`` for one key."""
+    return stable_hash64(key, salt) / _HASH_SPACE
+
+
+def stable_bucket(key: object, buckets: int, salt: int = 0) -> int:
+    """Deterministic bucket index in ``[0, buckets)`` for one key."""
+    if buckets < 1:
+        raise ValueError(f"buckets must be >= 1, got {buckets}")
+    return stable_hash64(key, salt) % buckets

@@ -1,0 +1,65 @@
+"""Shared fixtures for the lifecycle test package.
+
+One small world and one trained model per test session; tests that need
+to mutate parameters must clone first (``clone_model``) -- the fixture
+model is shared.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.models import ModelConfig, build_model
+from repro.training import TrainConfig, fit_model
+
+
+@pytest.fixture(scope="package")
+def world():
+    train, test, scenario = load_scenario(
+        "ae_es", n_users=40, n_items=50, n_train=1500, n_test=200
+    )
+    return train, test, scenario
+
+
+@pytest.fixture(scope="package")
+def train_config():
+    return TrainConfig(epochs=1, batch_size=128, seed=0)
+
+
+@pytest.fixture(scope="package")
+def factory(world):
+    _, _, scenario = world
+    config = ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+
+    def build():
+        return build_model("dcmt", scenario.schema, config)
+
+    return build
+
+
+@pytest.fixture(scope="package")
+def trained_model(world, factory, train_config):
+    train, _, _ = world
+    model = factory()
+    fit_model(model, train, train_config)
+    return model
+
+
+@pytest.fixture
+def clone_model(factory, trained_model):
+    """A fresh model carrying the shared trained parameters (mutable)."""
+
+    def clone():
+        model = factory()
+        model.load_state_dict(trained_model.state_dict())
+        return model
+
+    return clone
+
+
+def perturb(model, scale, seed=0):
+    """Add seeded noise to every parameter (a 'different' retrain)."""
+    rng = np.random.default_rng(seed)
+    for param in model.parameters():
+        param.data[...] += rng.normal(0.0, scale, size=param.data.shape)
+    return model

@@ -171,6 +171,33 @@ class TestCircuitBreaker:
         clock.now = 61.0
         assert breaker.state == "half_open"
 
+    def test_half_open_retrip_then_eventual_recovery(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, recovery_time=30.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        # Two consecutive half-open probes fail; each re-trip restarts
+        # the cool-down from its own failure time.
+        for cycle in range(2):
+            clock.now += 31.0
+            assert breaker.state == "half_open"
+            breaker.record_failure()
+            assert breaker.state == "open"
+            assert breaker.times_opened == 2 + cycle
+        # Outage ends: the third probe succeeds and the breaker closes.
+        clock.now += 31.0
+        assert breaker.state == "half_open" and breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        snap = breaker.snapshot()
+        assert snap["state"] == "closed"
+        assert snap["times_opened"] == 3
+        assert snap["consecutive_failures"] == 0
+        # ...and stays closed: the re-trips did not leak failure credit.
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
     def test_success_resets_failure_streak(self):
         breaker = CircuitBreaker(failure_threshold=3)
         breaker.record_failure()
@@ -256,6 +283,35 @@ class TestBreakerRecoveryThroughService:
             assert service.stats.breaker_short_circuits == shorts + 1
         assert chaos.failures_injected >= 3
         assert service.stats.primary == 0
+
+    def test_failed_probe_then_eventual_recovery(self, world):
+        service, clock = self.make_clocked_service(world)
+        rng = np.random.default_rng(5)
+        chaos = ChaosScoring(service, failure_rate=1.0, seed=1)
+        chaos.install()
+        for request in range(4):
+            service.serve_page(request % 5, np.arange(25), rng)
+        assert service.breaker.state == "open"
+        # First cool-down: the probe fails (outage ongoing), re-opens.
+        clock.now = 31.0
+        service.serve_page(0, np.arange(25), rng)
+        assert service.breaker.state == "open"
+        # Outage ends mid-cool-down; the breaker stays open (no early
+        # probing), then the next scheduled probe succeeds and primary
+        # serving resumes.
+        chaos.uninstall()
+        clock.now = 50.0
+        service.serve_page(1, np.arange(25), rng)
+        assert service.breaker.state == "open"
+        assert service.stats.primary == 0
+        clock.now = 62.0
+        service.serve_page(2, np.arange(25), rng)
+        assert service.breaker.state == "closed"
+        assert service.stats.last_source == "primary"
+        before = service.stats.primary
+        for request in range(5):
+            service.serve_page(request % 5, np.arange(25), rng)
+        assert service.stats.primary == before + 5
 
     def test_recovery_cycle_is_reproducible(self, world):
         outcomes = []

@@ -96,6 +96,29 @@ class TestCorruption:
         with pytest.raises(CheckpointCorruptError):
             load_snapshot(path)
 
+    def test_truncation_error_names_expected_and_actual_checksum(self, tmp_path):
+        path = save_snapshot(make_snapshot(), tmp_path / "a.ckpt")
+        data = path.read_bytes()
+        expected_digest = data.split(b"\n", 2)[1].decode()
+        path.write_bytes(data[: len(data) - 200])
+        with pytest.raises(CheckpointCorruptError) as excinfo:
+            load_snapshot(path)
+        message = str(excinfo.value)
+        assert "expected" in message and "actual" in message
+        assert expected_digest in message
+
+    def test_truncation_inside_frame_header(self, tmp_path):
+        path = save_snapshot(make_snapshot(), tmp_path / "a.ckpt")
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(CheckpointCorruptError, match="frame header"):
+            load_snapshot(path)
+
+    def test_empty_file_is_rejected(self, tmp_path):
+        path = tmp_path / "empty.ckpt"
+        path.write_bytes(b"")
+        with pytest.raises(CheckpointCorruptError, match="truncated"):
+            load_snapshot(path)
+
     def test_not_a_checkpoint(self, tmp_path):
         path = tmp_path / "junk.ckpt"
         path.write_bytes(b"hello world, definitely not a checkpoint")
@@ -129,6 +152,14 @@ class TestManager:
         snapshot = manager.load_latest()
         assert snapshot.epoch == 1
         assert np.all(snapshot.model_state["tower.weight"] == 1.0)
+
+    def test_rotation_sweeps_orphaned_tmp_files(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        orphan = tmp_path / "ckpt-0000000099.ckpt.tmp"
+        orphan.write_bytes(b"torn write from a killed process")
+        manager.save(make_snapshot(), 1)
+        assert not orphan.exists()
+        assert manager.latest() is not None
 
     def test_empty_store(self, tmp_path):
         manager = CheckpointManager(tmp_path, keep=2)

@@ -56,6 +56,51 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             ABTest({"only": models["mmoe"]}, scenario, base_bucket="only")
 
+    def test_unknown_assignment_rejected(self):
+        with pytest.raises(ValueError, match="assignment"):
+            ABTestConfig(assignment="alphabetical")
+
+
+class TestHashAssignment:
+    def test_hash_buckets_are_disjoint_exhaustive_and_stable(self, world):
+        scenario, models = world
+        config = ABTestConfig(assignment="hash", seed=3)
+        ab = ABTest(models, scenario, base_bucket="mmoe", config=config)
+        again = ABTest(models, scenario, base_bucket="mmoe", config=config)
+        all_users = np.concatenate(list(ab._bucket_users.values()))
+        assert len(all_users) == scenario.config.n_users
+        assert len(np.unique(all_users)) == scenario.config.n_users
+        for name in models:
+            np.testing.assert_array_equal(
+                ab._bucket_users[name], again._bucket_users[name]
+            )
+
+    def test_hash_split_differs_from_round_robin(self, world):
+        scenario, models = world
+        hashed = ABTest(
+            models,
+            scenario,
+            base_bucket="mmoe",
+            config=ABTestConfig(assignment="hash", seed=0),
+        )
+        modulo = ABTest(models, scenario, base_bucket="mmoe")
+        assert not np.array_equal(
+            hashed._bucket_users["mmoe"], modulo._bucket_users["mmoe"]
+        )
+
+    def test_salt_reshuffles_the_split(self, world):
+        scenario, models = world
+        splits = [
+            ABTest(
+                models,
+                scenario,
+                base_bucket="mmoe",
+                config=ABTestConfig(assignment="hash", seed=seed),
+            )._bucket_users["dcmt"]
+            for seed in (0, 1)
+        ]
+        assert not np.array_equal(splits[0], splits[1])
+
 
 class TestBucketDay:
     def test_rates(self):

@@ -166,6 +166,49 @@ class TestHealthMonitor:
         monitor.update()  # calm 1 of 2 again
         assert monitor.update() == HEALTHY
 
+    def test_breaker_trip_during_shedding_grace_rearms_escalation(self):
+        monitor = HealthMonitor(HealthPolicy(recovery_grace=3))
+        monitor.update(queue_fraction=1.0)
+        assert monitor.state == SHEDDING
+        monitor.update()  # calm 1 of 3
+        monitor.update()  # calm 2 of 3
+        # A fresh breaker trip arrives while the step-down is pending.
+        # It calls for DEGRADED (below SHEDDING), but it is a *new*
+        # degradation signal, not a clean evaluation: the grace counter
+        # re-arms instead of riding the stale countdown.
+        assert monitor.update(breaker_open=True) == SHEDDING
+        assert monitor.update() == SHEDDING  # calm 1 of 3 again
+        assert monitor.update() == SHEDDING  # calm 2 of 3
+        assert monitor.update() == DEGRADED  # calm 3: one level down
+        for _ in range(2):
+            monitor.update()
+        assert monitor.update() == HEALTHY
+
+    def test_sustained_lower_severity_still_steps_down(self):
+        # Hysteresis must not deadlock: a *sustained* (non-escalating)
+        # lower-severity signal counts as progress toward step-down.
+        monitor = HealthMonitor(HealthPolicy(recovery_grace=2))
+        monitor.update(queue_fraction=1.0)
+        assert monitor.state == SHEDDING
+        monitor.update(breaker_open=True)  # not escalating: calm 1 of 2
+        assert monitor.state == SHEDDING
+        assert monitor.update(breaker_open=True) == DEGRADED  # calm 2
+        # ...and DEGRADED is where it stays while the breaker is open.
+        assert monitor.update(breaker_open=True) == DEGRADED
+
+    def test_snapshot_exposes_the_machine_state(self):
+        monitor = HealthMonitor(HealthPolicy(recovery_grace=2))
+        monitor.update(queue_fraction=0.95)
+        monitor.update()
+        snap = monitor.snapshot()
+        assert snap["state"] == SHEDDING
+        assert snap["steps"] == 2
+        assert snap["calm"] == 1
+        assert snap["n_transitions"] == 1
+        assert "queue" in snap["last_reason"]
+        assert snap["signals"]["queue_fraction"] == 0.0
+        assert snap["signals"]["target"] == HEALTHY
+
     def test_reset_records_a_transition(self):
         monitor = HealthMonitor()
         monitor.update(queue_fraction=1.0)
