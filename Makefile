@@ -1,6 +1,6 @@
 # Convenience targets for the DCMT reproduction.
 
-.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest verify-lifecycle
+.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest verify-lifecycle verify-fleet
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,9 +18,10 @@ lint:
 		echo "ruff not installed; skipping lint"; \
 	fi
 
-# The CI gate: lint, the robustness, ingest, and lifecycle lanes, then
-# the full tier-1 suite from a clean checkout -- every PR runs all of it.
-verify: lint verify-robustness verify-ingest verify-lifecycle
+# The CI gate: lint, the robustness, ingest, lifecycle, and fleet
+# lanes, then the full tier-1 suite from a clean checkout -- every PR
+# runs all of it.
+verify: lint verify-robustness verify-ingest verify-lifecycle verify-fleet
 	PYTHONPATH=src python -m pytest -x -q tests/
 
 # Every test tagged `robustness`: degenerate-batch hardening plus the
@@ -43,6 +44,11 @@ verify-callbacks:
 # canary rollout, and the seeded end-to-end chaos drill.
 verify-lifecycle:
 	PYTHONPATH=src pytest -m lifecycle tests/
+
+# Every test tagged `fleet`: replicated-serving routing and hedging,
+# fleet health quorum, and the seeded replica-loss chaos drills.
+verify-fleet:
+	PYTHONPATH=src pytest -m fleet tests/
 
 # Throughput-only benches (dense/sparse training + inference); writes
 # BENCH_throughput.json at the repo root with measured rows/s, the

@@ -1,0 +1,202 @@
+"""Serving-fleet tour: replicated serving surviving replica loss.
+
+Narrates the full "losing a replica at peak traffic" runbook from
+``docs/reproduction_guide.md`` against a live fleet:
+
+1. train DCMT, publish it as champion, and stand up a 4-replica
+   :class:`~repro.simulation.fleet.ServingFleet` whose replicas each
+   load their own digest-verified frozen copy from the registry;
+2. run a seeded :class:`~repro.simulation.fleet.FleetChaosDrill`
+   (replica kill + NaN-prediction burst + injected-clock slowdown) and
+   show the fleet hedging around the carnage -- every page still
+   ranked by a real model, transcript bit-identical across reruns;
+3. break quorum by hand (kill two replicas) to show DEGRADED shedding,
+   then revive and watch the quorum machine recover and the router
+   rebalance;
+4. rerun the same kill schedule against a single-replica baseline,
+   which goes CRITICAL and drops requests -- the number the fleet
+   exists to make zero;
+5. attach a retrained candidate as a *canary replica* riding the same
+   fleet routing path, and promote it on a clean verdict.
+
+Run with::
+
+    PYTHONPATH=src python examples/serving_fleet.py
+"""
+
+import tempfile
+
+import numpy as np
+
+from repro.data import load_scenario
+from repro.lifecycle import CanaryPolicy, ModelLifecycleManager, ModelRegistry
+from repro.models import ModelConfig, build_model
+from repro.reliability import (
+    FleetFaultSpec,
+    FleetPolicy,
+    ReplicaFault,
+    ServingPolicy,
+    build_fleet_fault_schedule,
+)
+from repro.reliability.errors import RequestShedError
+from repro.reliability.faults import REPLICA_KILL
+from repro.simulation import FleetChaosDrill, ServingFleet
+from repro.training import TrainConfig, fit_model
+
+
+class FakeClock:
+    """Injected clock: deterministic latency, no real sleeping."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def banner(title):
+    print(f"\n=== {title} " + "=" * max(8, 60 - len(title)))
+
+
+def drive(fleet, n, seed, n_users, n_items):
+    rng = np.random.default_rng(seed)
+    served = shed = 0
+    for _ in range(n):
+        user = int(rng.integers(0, n_users))
+        candidates = rng.choice(n_items, size=20, replace=False)
+        try:
+            fleet.serve_page(user, candidates, rng)
+            served += 1
+        except RequestShedError:
+            shed += 1
+    return served, shed
+
+
+def main() -> None:
+    train, test, scenario = load_scenario(
+        "ae_es", n_users=120, n_items=200, n_train=6_000, n_test=1_500
+    )
+    n_users = scenario.config.n_users
+    n_items = scenario.config.n_items
+    model_config = ModelConfig(embedding_dim=8, hidden_sizes=(16,), seed=0)
+
+    def factory():
+        return build_model("dcmt", scenario.schema, model_config)
+
+    banner("1. Train, publish, and build the fleet from the registry")
+    model = factory()
+    fit_model(model, train, TrainConfig(epochs=2, batch_size=256, seed=0))
+
+    with tempfile.TemporaryDirectory() as root:
+        manager = ModelLifecycleManager(
+            ModelRegistry(root),
+            factory,
+            canary_policy=CanaryPolicy(traffic_fraction=0.3, min_requests=30),
+        )
+        manager.submit(model, test, note="fleet champion")
+        clock = FakeClock()
+        fleet = ServingFleet.from_registry(
+            manager.registry,
+            factory,
+            scenario,
+            n_replicas=4,
+            policy=FleetPolicy(deadline_s=1.0),
+            # Short breaker cool-down so a replica recovering from a
+            # NaN burst re-earns traffic within the drill window.
+            service_policy=ServingPolicy(breaker_recovery_time=1.0),
+            seed=7,
+            clock=clock,
+        )
+        print(f"champion {fleet.version} on {len(fleet.replicas)} replicas; "
+              "each replica holds its own digest-verified frozen copy")
+        served, shed = drive(fleet, 100, 1, n_users, n_items)
+        print(f"healthy serving: {served} served / {shed} shed, "
+              f"sources={fleet.stats.by_source}")
+
+        banner("2. Seeded chaos drill: kill + NaN burst + slowdown")
+        schedule = list(
+            build_fleet_fault_schedule(
+                FleetFaultSpec(
+                    n_kills=1,
+                    n_nan_bursts=1,
+                    nan_duration=20,
+                    n_slowdowns=1,
+                    slowdown_latency_s=0.02,
+                    slowdown_duration=25,
+                ),
+                n_replicas=4,
+                n_steps=300,
+                seed=5,
+            )
+        )
+        for fault in schedule:
+            print(f"  scheduled: {fault}")
+        report = FleetChaosDrill(fleet, schedule, clock=clock).run(
+            300, seed=11, deadline_s=1.0, step_duration_s=0.1
+        )
+        print(f"drill: {report.summary()}")
+        print(f"hedges={fleet.stats.hedges} (wins={fleet.stats.hedge_wins}), "
+              f"slowest page={max(fleet.stats.latencies_s):.3f}s "
+              f"(p99={fleet.stats.latency_percentile(99):.3f}s)")
+        print(f"model-served fraction: {report.model_served_fraction:.1%} "
+              "(acceptance bar: 99%)")
+        print("transcript tail:")
+        for line in report.transcript[-3:]:
+            print(f"  {line}")
+
+        banner("3. Break quorum, then recover and rebalance")
+        dead = [r.name for r in fleet.replicas if not r.alive]
+        alive = [r.name for r in fleet.replicas if r.alive]
+        fleet.kill_replica(alive[0])
+        print(f"dead: {dead + [alive[0]]} -> quorum broken")
+        before = fleet.stats.fleet_shed
+        drive(fleet, 60, 2, n_users, n_items)
+        print(f"fleet state={fleet.health.state}, "
+              f"door-shed {fleet.stats.fleet_shed - before} of 60 "
+              "(protecting the survivors)")
+        for name in dead + [alive[0]]:
+            fleet.revive_replica(name)
+        drive(fleet, 60, 3, n_users, n_items)
+        print(f"after revival: state={fleet.health.state}, "
+              f"traffic spread={fleet.stats.by_replica}")
+
+        banner("4. Single-replica baseline under the same kill")
+        kill_step = next(f.start for f in schedule if f.kind == REPLICA_KILL)
+        baseline_clock = FakeClock()
+        baseline = ServingFleet.from_registry(
+            manager.registry, factory, scenario, n_replicas=1,
+            policy=FleetPolicy(deadline_s=1.0), seed=7, clock=baseline_clock,
+        )
+        baseline_report = FleetChaosDrill(
+            baseline,
+            [ReplicaFault(kind=REPLICA_KILL, replica=0, start=kill_step)],
+            clock=baseline_clock,
+        ).run(300, seed=11, deadline_s=1.0)
+        print(f"baseline: {baseline_report.summary()}")
+        print(f"baseline dropped {baseline_report.shed} requests and served "
+              f"{baseline_report.by_source.get('fleet_popularity', 0)} "
+              "model-free pages; the 4-replica fleet dropped none")
+
+        banner("5. Canary rides the fleet")
+        candidate = factory()
+        fit_model(candidate, train, TrainConfig(epochs=2, batch_size=256, seed=1))
+        manager.submit(candidate, test, note="retrained candidate")
+        rollout = manager.build_canary(scenario, fleet=fleet, clock=clock)
+        rng = np.random.default_rng(4)
+        for _ in range(150):
+            clock.now += 0.01
+            user = int(rng.integers(0, n_users))
+            candidates = rng.choice(n_items, size=20, replace=False)
+            rollout.serve_page(user, candidates, rng)
+        print(f"arm requests: {rollout.requests}; canary replica "
+              f"{fleet.canary.name} served through the fleet door")
+        decision = manager.conclude_canary(rollout)
+        print(f"verdict: {decision.action} ({decision.reason}); "
+              f"canary detached: {fleet.canary is None}")
+
+    print("\nDone: the runbook in docs/reproduction_guide.md walks the "
+          "same four phases (kill -> reroute -> recover -> rebalance).")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,7 @@ from repro.lifecycle.canary import (
     PROMOTE,
     CanaryPolicy,
     CanaryRollout,
+    FleetCanaryRollout,
 )
 from repro.lifecycle.gate import GateCheck, GatePolicy, GateReport, PromotionGate
 from repro.lifecycle.manager import LifecycleDecision, ModelLifecycleManager
@@ -64,6 +65,7 @@ __all__ = [
     "DEMOTE",
     "CanaryPolicy",
     "CanaryRollout",
+    "FleetCanaryRollout",
     "GateCheck",
     "GatePolicy",
     "GateReport",

@@ -208,3 +208,69 @@ class CanaryRollout:
                 reason=reason,
             )
         return self._concluded, self._reason
+
+
+class FleetCanaryRollout(CanaryRollout):
+    """A canary whose candidate is a real replica of a serving fleet.
+
+    Instead of hash-splitting between two standalone services, the
+    candidate is attached to a
+    :class:`~repro.simulation.fleet.ServingFleet` via
+    :meth:`~repro.simulation.fleet.ServingFleet.attach_canary` and the
+    champion arm is the fleet's replica pool itself.  Every request --
+    champion or canary slice -- goes through :meth:`fleet.serve_page`,
+    so the canary exercises the exact production path: fleet admission
+    and degradation, power-of-two routing, hedged retries, and the
+    deterministic transcript.  A refusing canary replica hedges onto
+    champion replicas rather than shedding its users, and its breaker /
+    sentinel / health signals still drive :meth:`verdict` unchanged.
+
+    :meth:`conclude` freezes the verdict and detaches the canary from
+    the fleet, returning the whole slice to the champion pool.
+    """
+
+    def __init__(
+        self,
+        fleet,
+        candidate: RankingService,
+        candidate_version: str,
+        policy: Optional[CanaryPolicy] = None,
+    ) -> None:
+        if fleet.canary is None or fleet.canary.service is not candidate:
+            raise ValueError(
+                "candidate must already be attached to the fleet "
+                "(ServingFleet.attach_canary)"
+            )
+        super().__init__(fleet, candidate, candidate_version, policy=policy)
+        self.fleet = fleet
+
+    def route(self, user: int) -> str:
+        """Mirror the fleet's own canary hash split (stable per user)."""
+        if self._concluded == DEMOTE:
+            return CHAMPION_ARM
+        if self.fleet.routes_to_canary(user):
+            return CANDIDATE_ARM
+        return CHAMPION_ARM
+
+    def serve_page(
+        self,
+        user: int,
+        candidates: np.ndarray,
+        rng: np.random.Generator,
+        deadline_s: Optional[float] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Serve through the fleet; both arms share its routing path."""
+        arm = self.route(user)
+        self.requests[arm] += 1
+        try:
+            return self.fleet.serve_page(
+                user, candidates, rng, deadline_s=deadline_s
+            )
+        except Exception:
+            self.shed[arm] += 1
+            raise
+
+    def conclude(self) -> Tuple[str, str]:
+        verdict, reason = super().conclude()
+        self.fleet.detach_canary()
+        return verdict, reason

@@ -33,6 +33,7 @@ from repro.lifecycle.canary import (
     PROMOTE,
     CanaryPolicy,
     CanaryRollout,
+    FleetCanaryRollout,
 )
 from repro.lifecycle.gate import GatePolicy, GateReport, PromotionGate
 from repro.lifecycle.registry import ModelRegistry, ModelVersion
@@ -191,7 +192,7 @@ class ModelLifecycleManager:
         return None if self._staged is None else self._staged.version
 
     # -- canary ---------------------------------------------------------
-    def build_canary(self, scenario, **service_kwargs) -> CanaryRollout:
+    def build_canary(self, scenario, fleet=None, **service_kwargs) -> CanaryRollout:
         """Stage the gated candidate behind a two-arm canary rollout.
 
         Both arms get their own breaker/queue/health; the candidate arm
@@ -200,6 +201,13 @@ class ModelLifecycleManager:
         what the system was calibrated on" demotes just like a crash
         would.  Extra ``service_kwargs`` (page_size, policy, clock, ...)
         apply to both arms.
+
+        With ``fleet=`` (a :class:`~repro.simulation.fleet.ServingFleet`
+        serving the current champion), the candidate is instead attached
+        to the fleet as a real replica and a
+        :class:`~repro.lifecycle.canary.FleetCanaryRollout` is returned:
+        the champion arm is the fleet's replica pool, and the canary
+        slice rides the same routing/hedging path as champion traffic.
         """
         if self._staged is None:
             raise RuntimeError(
@@ -212,6 +220,29 @@ class ModelLifecycleManager:
         sentinel = (
             None if reference is None else DriftSentinel(reference)
         )
+        if fleet is not None:
+            champion_version = self.registry.champion.version
+            if fleet.version is not None and fleet.version != champion_version:
+                raise RuntimeError(
+                    f"fleet serves {fleet.version!r} but the champion is "
+                    f"{champion_version!r}; rebuild the fleet from the "
+                    "registry before attaching a canary"
+                )
+            candidate_arm = RankingService(
+                self._staged.model, scenario, sentinel=sentinel, **service_kwargs
+            )
+            fleet.attach_canary(
+                candidate_arm,
+                self._staged.version,
+                traffic_fraction=self.canary_policy.traffic_fraction,
+                salt=self.canary_policy.salt,
+            )
+            return FleetCanaryRollout(
+                fleet,
+                candidate_arm,
+                candidate_version=self._staged.version,
+                policy=self.canary_policy,
+            )
         champion_arm = RankingService(champion_model, scenario, **service_kwargs)
         candidate_arm = RankingService(
             self._staged.model, scenario, sentinel=sentinel, **service_kwargs

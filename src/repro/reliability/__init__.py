@@ -36,6 +36,7 @@ from repro.reliability.checkpoint import (
 from repro.reliability.circuit import CircuitBreaker
 from repro.reliability.config import (
     AdmissionPolicy,
+    FleetPolicy,
     ReliabilityConfig,
     ServingPolicy,
 )
@@ -55,18 +56,29 @@ from repro.reliability.errors import (
     PropensityCollapseWarning,
     RegistryCorruptError,
     ReliabilityError,
+    ReplicaUnavailableError,
     RequestShedError,
     ScoringUnavailableError,
 )
 from repro.reliability.health import (
+    CRITICAL,
     DEGRADED,
     HEALTHY,
     SHEDDING,
+    FleetHealthMonitor,
+    FleetHealthPolicy,
     HealthMonitor,
     HealthPolicy,
     HealthTransition,
 )
-from repro.reliability.faults import FaultInjector, FaultRecord, FaultSpec
+from repro.reliability.faults import (
+    FaultInjector,
+    FaultRecord,
+    FaultSpec,
+    FleetFaultSpec,
+    ReplicaFault,
+    build_fleet_fault_schedule,
+)
 from repro.reliability.guards import (
     GuardEvent,
     LossGuard,
@@ -86,9 +98,13 @@ __all__ = [
     "ks_statistic",
     "population_stability_index",
     "RequestShedError",
+    "ReplicaUnavailableError",
     "HEALTHY",
     "DEGRADED",
     "SHEDDING",
+    "CRITICAL",
+    "FleetHealthMonitor",
+    "FleetHealthPolicy",
     "HealthMonitor",
     "HealthPolicy",
     "HealthTransition",
@@ -98,6 +114,7 @@ __all__ = [
     "save_snapshot",
     "verify_snapshot",
     "CircuitBreaker",
+    "FleetPolicy",
     "ReliabilityConfig",
     "ServingPolicy",
     "ReliabilityError",
@@ -110,6 +127,9 @@ __all__ = [
     "FaultInjector",
     "FaultRecord",
     "FaultSpec",
+    "FleetFaultSpec",
+    "ReplicaFault",
+    "build_fleet_fault_schedule",
     "GuardEvent",
     "LossGuard",
     "LossGuardConfig",

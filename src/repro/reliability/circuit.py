@@ -84,11 +84,30 @@ class CircuitBreaker:
         self._state = self.CLOSED
         self._consecutive_failures = 0
 
+    def time_to_half_open(self) -> float:
+        """Seconds until the next half-open probe (0 unless open).
+
+        While the breaker is OPEN this counts down the remaining
+        cool-down; CLOSED and HALF_OPEN report 0.0 (a probe is already
+        allowed).  Reading it never mutates state beyond the usual
+        open -> half_open promotion of :attr:`state`.
+        """
+        if self.state != self.OPEN:
+            return 0.0
+        remaining = self.recovery_time - (self._clock() - self._opened_at)
+        return max(remaining, 0.0)
+
     def snapshot(self) -> dict:
-        """Structured view for dashboards and the canary health report."""
+        """Structured view for dashboards and the canary health report.
+
+        Shape-compatible with :meth:`HealthMonitor.snapshot`: a ``state``
+        plus the counters that explain it, so fleet status reports can
+        render every replica's machines uniformly.
+        """
         return {
             "state": self.state,
             "consecutive_failures": self._consecutive_failures,
+            "time_to_half_open": self.time_to_half_open(),
             "total_failures": self.total_failures,
             "total_successes": self.total_successes,
             "times_opened": self.times_opened,

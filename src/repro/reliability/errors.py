@@ -53,6 +53,19 @@ class RequestShedError(ReliabilityError):
     """
 
 
+class ReplicaUnavailableError(ReliabilityError):
+    """No fleet replica could take (or serve) the request.
+
+    Raised internally by :class:`~repro.simulation.fleet.ServingFleet`
+    routing when every replica is dead, shedding, or breaker-open, and
+    by a replica attempt that failed so the hedge logic can distinguish
+    "this replica refused" from a caller error.  The fleet catches it
+    and rides its own fallback chain (hedge replica, then the
+    popularity scorer) -- it never reaches callers of
+    ``ServingFleet.serve_page``.
+    """
+
+
 class RegistryCorruptError(ReliabilityError):
     """A model-registry entry failed digest or structural verification.
 

@@ -1,4 +1,4 @@
-"""Deterministic fault injection for training batches.
+"""Deterministic fault injection for training batches and fleets.
 
 :class:`FaultInjector` corrupts :class:`~repro.data.dataset.Batch`
 objects in the ways production pipelines actually fail: NaN-poisoned
@@ -12,16 +12,30 @@ chaos you can put in a regression test.
 All mutators return *new* batches (inputs are never modified) and
 preserve the dataset invariants: conversions and actions stay zero
 outside the click space.
+
+The second half of the module is the *fleet* fault vocabulary:
+:class:`ReplicaFault` events (kill, slowdown, NaN predictions) placed
+on a request-step timeline, and :func:`build_fleet_fault_schedule`,
+which draws a schedule from a :class:`FleetFaultSpec` through the same
+``SeedSequence`` discipline.  The schedule is pure data -- the
+:class:`~repro.simulation.fleet.FleetChaosDrill` harness applies it to
+a live :class:`~repro.simulation.fleet.ServingFleet`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.data.dataset import Batch
+
+#: Fleet fault kinds (the vocabulary of :class:`ReplicaFault`).
+REPLICA_KILL = "kill"
+REPLICA_SLOWDOWN = "slowdown"
+REPLICA_NAN = "nan_predictions"
+_REPLICA_FAULT_KINDS = (REPLICA_KILL, REPLICA_SLOWDOWN, REPLICA_NAN)
 
 
 @dataclass(frozen=True)
@@ -172,3 +186,140 @@ class FaultInjector:
             out = self.nan_features(out, spec.nan_fraction, rng)
             self.log.append(FaultRecord(epoch, index, "nan_features"))
         return out
+
+
+# ----------------------------------------------------------------------
+# Fleet faults: replica-kill / slowdown / NaN-prediction events on a
+# seeded request-step timeline.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ReplicaFault:
+    """One fault window against one replica of a serving fleet."""
+
+    #: ``kill`` (replica drops out of the fleet), ``slowdown`` (every
+    #: scoring call costs extra injected-clock latency), or
+    #: ``nan_predictions`` (the replica's primary scorer returns NaN).
+    kind: str
+    #: Index of the afflicted replica.
+    replica: int
+    #: Request step (0-based) at which the fault begins.
+    start: int
+    #: Fault length in request steps; ``None`` means permanent (the
+    #: default for ``kill`` -- a dead replica stays dead unless the
+    #: drill revives it explicitly).
+    duration: Optional[int] = None
+    #: Extra seconds per scoring call while a ``slowdown`` is active.
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _REPLICA_FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {_REPLICA_FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.replica < 0:
+            raise ValueError(f"replica must be >= 0, got {self.replica}")
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.duration is not None and self.duration < 1:
+            raise ValueError(
+                f"duration must be >= 1 or None, got {self.duration}"
+            )
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.kind == REPLICA_SLOWDOWN and self.latency_s == 0:
+            raise ValueError("a slowdown fault needs latency_s > 0")
+
+    def active(self, step: int) -> bool:
+        """Is the fault in force at request ``step``?"""
+        if step < self.start:
+            return False
+        return self.duration is None or step < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class FleetFaultSpec:
+    """How many faults of each kind a seeded schedule should contain."""
+
+    #: Permanent replica kills (at most one per replica).
+    n_kills: int = 1
+    #: Slowdown windows.
+    n_slowdowns: int = 0
+    #: Injected-clock latency per scoring call during a slowdown.
+    slowdown_latency_s: float = 0.05
+    #: Length of each slowdown window, in request steps.
+    slowdown_duration: int = 20
+    #: NaN-prediction bursts.
+    n_nan_bursts: int = 0
+    #: Length of each NaN burst, in request steps.
+    nan_duration: int = 10
+
+    def __post_init__(self) -> None:
+        for name in ("n_kills", "n_slowdowns", "n_nan_bursts"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.slowdown_latency_s <= 0:
+            raise ValueError(
+                f"slowdown_latency_s must be > 0, got {self.slowdown_latency_s}"
+            )
+        if self.slowdown_duration < 1 or self.nan_duration < 1:
+            raise ValueError("fault durations must be >= 1 step")
+
+
+def build_fleet_fault_schedule(
+    spec: FleetFaultSpec,
+    n_replicas: int,
+    n_steps: int,
+    seed: int = 0,
+) -> List[ReplicaFault]:
+    """Draw a deterministic fault schedule for one drill run.
+
+    Placement comes from ``SeedSequence([seed])`` exactly like
+    :class:`FaultInjector`, so the same ``(spec, n_replicas, n_steps,
+    seed)`` always yields the same schedule.  Kills land on distinct
+    replicas (a drill that kills the same replica twice proves
+    nothing), and every fault starts inside the middle 80% of the run
+    so the transcript shows both a clean lead-in and the aftermath.
+    """
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+    if n_steps < 1:
+        raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+    if spec.n_kills > n_replicas:
+        raise ValueError(
+            f"cannot kill {spec.n_kills} of {n_replicas} replicas"
+        )
+    rng = np.random.default_rng(np.random.SeedSequence([seed, n_replicas, n_steps]))
+    lo, hi = max(1, n_steps // 10), max(2, (9 * n_steps) // 10)
+    faults: List[ReplicaFault] = []
+    kill_targets = rng.choice(n_replicas, size=spec.n_kills, replace=False)
+    for target in kill_targets:
+        faults.append(
+            ReplicaFault(
+                kind=REPLICA_KILL,
+                replica=int(target),
+                start=int(rng.integers(lo, hi)),
+            )
+        )
+    for _ in range(spec.n_slowdowns):
+        faults.append(
+            ReplicaFault(
+                kind=REPLICA_SLOWDOWN,
+                replica=int(rng.integers(0, n_replicas)),
+                start=int(rng.integers(lo, hi)),
+                duration=spec.slowdown_duration,
+                latency_s=spec.slowdown_latency_s,
+            )
+        )
+    for _ in range(spec.n_nan_bursts):
+        faults.append(
+            ReplicaFault(
+                kind=REPLICA_NAN,
+                replica=int(rng.integers(0, n_replicas)),
+                start=int(rng.integers(lo, hi)),
+                duration=spec.nan_duration,
+            )
+        )
+    faults.sort(key=lambda f: (f.start, f.replica, f.kind))
+    return faults

@@ -35,6 +35,11 @@ SHEDDING = "shedding"
 _RANK = {HEALTHY: 0, DEGRADED: 1, SHEDDING: 2}
 _BY_RANK = [HEALTHY, DEGRADED, SHEDDING]
 
+#: Fleet-level terminal state: no replica can take traffic at all.
+CRITICAL = "critical"
+_FLEET_RANK = {HEALTHY: 0, DEGRADED: 1, CRITICAL: 2}
+_FLEET_BY_RANK = [HEALTHY, DEGRADED, CRITICAL]
+
 
 @dataclass(frozen=True)
 class HealthPolicy:
@@ -174,3 +179,115 @@ class HealthMonitor:
         if self._state != HEALTHY:
             self._move(HEALTHY, "operator reset")
         self._calm = 0
+
+
+@dataclass(frozen=True)
+class FleetHealthPolicy:
+    """Replica quorum thresholds for the fleet-level state machine."""
+
+    #: Available-replica fraction below which the fleet is DEGRADED
+    #: (and starts shedding a deterministic slice of traffic to protect
+    #: the survivors before total failure).
+    degraded_quorum: float = 0.75
+    #: Consecutive clean evaluations before stepping down one level.
+    recovery_grace: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.degraded_quorum <= 1.0:
+            raise ValueError(
+                f"degraded_quorum must be in (0, 1], got {self.degraded_quorum}"
+            )
+        if self.recovery_grace < 1:
+            raise ValueError(
+                f"recovery_grace must be >= 1, got {self.recovery_grace}"
+            )
+
+
+@dataclass
+class FleetHealthMonitor:
+    """HEALTHY -> DEGRADED -> CRITICAL from replica availability.
+
+    The fleet analogue of :class:`HealthMonitor`: one state computed
+    from how many replicas can currently take traffic (alive, breaker
+    not open, not SHEDDING).  Losing quorum degrades the fleet --
+    which widens shedding upstream -- and losing *every* replica is
+    CRITICAL, where the fleet serves from the model-free popularity
+    fallback rather than dropping pages.  Escalation is immediate;
+    de-escalation steps down one level after ``recovery_grace``
+    consecutive clean evaluations, with the same re-arm-on-fresh-signal
+    hysteresis as the replica machine.
+    """
+
+    policy: FleetHealthPolicy = field(default_factory=FleetHealthPolicy)
+    _state: str = HEALTHY
+    _steps: int = 0
+    _calm: int = 0
+    _last_target_rank: int = 0
+    _last_signals: Dict[str, Any] = field(default_factory=dict)
+    transitions: List[HealthTransition] = field(default_factory=list)
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def _target(self, available: int, total: int) -> Tuple[str, str]:
+        if total < 1:
+            raise ValueError(f"fleet must have >= 1 replica, got {total}")
+        if available == 0:
+            return CRITICAL, "no replica available"
+        fraction = available / total
+        if fraction < self.policy.degraded_quorum:
+            return DEGRADED, (
+                f"{available}/{total} replicas available "
+                f"(quorum {self.policy.degraded_quorum:.0%})"
+            )
+        return HEALTHY, f"{available}/{total} replicas available"
+
+    def update(self, available: int, total: int) -> str:
+        """Fold one availability evaluation into the state machine."""
+        self._steps += 1
+        target, reason = self._target(available, total)
+        self._last_signals = {
+            "available": available,
+            "total": total,
+            "target": target,
+        }
+        escalating = _FLEET_RANK[target] > self._last_target_rank
+        self._last_target_rank = _FLEET_RANK[target]
+        if _FLEET_RANK[target] > _FLEET_RANK[self._state]:
+            self._move(target, reason)
+            self._calm = 0
+        elif _FLEET_RANK[target] < _FLEET_RANK[self._state]:
+            if escalating:
+                self._calm = 0
+            else:
+                self._calm += 1
+                if self._calm >= self.policy.recovery_grace:
+                    step_down = _FLEET_BY_RANK[_FLEET_RANK[self._state] - 1]
+                    self._move(
+                        step_down,
+                        f"recovered after {self._calm} clean evaluations",
+                    )
+                    self._calm = 0
+        else:
+            self._calm = 0
+        return self._state
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Structured view matching :meth:`HealthMonitor.snapshot`."""
+        return {
+            "state": self._state,
+            "steps": self._steps,
+            "calm": self._calm,
+            "n_transitions": len(self.transitions),
+            "last_reason": (
+                self.transitions[-1].reason if self.transitions else ""
+            ),
+            "signals": dict(self._last_signals),
+        }
+
+    def _move(self, to_state: str, reason: str) -> None:
+        self.transitions.append(
+            HealthTransition(self._steps, self._state, to_state, reason)
+        )
+        self._state = to_state

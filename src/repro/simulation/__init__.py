@@ -15,7 +15,12 @@ the synthetic behaviour world:
   (including the hidden attention confounder);
 * :class:`~repro.simulation.ab_test.ABTest` -- bucket assignment, daily
   rollout, per-day and overall lifts with significance tests, and the
-  day-1 prediction log used by the Fig. 7 reproduction.
+  day-1 prediction log used by the Fig. 7 reproduction;
+* :class:`~repro.simulation.fleet.ServingFleet` -- N ranking replicas
+  behind a health-aware power-of-two-choices router with hedged
+  retries, fleet-level graceful degradation, and
+  :class:`~repro.simulation.fleet.FleetChaosDrill` for seeded
+  replica-loss drills.
 """
 
 from repro.simulation.serving import (
@@ -23,6 +28,15 @@ from repro.simulation.serving import (
     Deadline,
     RankingService,
     ServingStats,
+)
+from repro.simulation.fleet import (
+    FLEET_POPULARITY,
+    FleetChaosDrill,
+    FleetDrillReport,
+    FleetEvent,
+    FleetStats,
+    Replica,
+    ServingFleet,
 )
 from repro.simulation.behavior import BehaviorSimulator, PageViewOutcome
 from repro.simulation.ab_test import (
@@ -37,6 +51,13 @@ __all__ = [
     "Deadline",
     "RankingService",
     "ServingStats",
+    "FLEET_POPULARITY",
+    "FleetChaosDrill",
+    "FleetDrillReport",
+    "FleetEvent",
+    "FleetStats",
+    "Replica",
+    "ServingFleet",
     "BehaviorSimulator",
     "PageViewOutcome",
     "ABTest",

@@ -30,6 +30,7 @@ import numpy as np
 from repro.data.synthetic import SyntheticScenario
 from repro.metrics.stats import LiftResult, two_proportion_test
 from repro.models.base import MultiTaskModel
+from repro.reliability.errors import RequestShedError
 from repro.simulation.behavior import BehaviorSimulator
 from repro.simulation.serving import RankingService
 from repro.utils.hashing import stable_bucket
@@ -88,6 +89,9 @@ class BucketDay:
     clicks: int = 0
     conversions: int = 0
     top_conversions: int = 0
+    #: Page requests refused by the bucket's serving stack (fleet or
+    #: service load shedding); a shed page contributes no impressions.
+    shed_pages: int = 0
 
     def trials(self, metric: str) -> int:
         return {
@@ -163,6 +167,7 @@ class ABTest:
         scenario: SyntheticScenario,
         base_bucket: str,
         config: Optional[ABTestConfig] = None,
+        services: Optional[Dict[str, object]] = None,
     ) -> None:
         if base_bucket not in models:
             raise KeyError(f"base bucket {base_bucket!r} not among models")
@@ -171,16 +176,30 @@ class ABTest:
         self.config = config or ABTestConfig()
         self.scenario = scenario
         self.base_bucket = base_bucket
-        ctr_provider = models[base_bucket] if self.config.shared_ctr else None
-        self.services = {
-            name: RankingService(
-                model,
-                scenario,
-                page_size=self.config.page_size,
-                ctr_provider=ctr_provider,
+        if services is not None:
+            # Caller-built serving stacks -- anything serve_page-shaped
+            # works, including a ServingFleet per bucket, so the Table V
+            # protocol can run against a replicated fleet instead of a
+            # single service.
+            if set(services) != set(models):
+                raise ValueError(
+                    "services keys must match model buckets: "
+                    f"{sorted(services)} vs {sorted(models)}"
+                )
+            self.services = dict(services)
+        else:
+            ctr_provider = (
+                models[base_bucket] if self.config.shared_ctr else None
             )
-            for name, model in models.items()
-        }
+            self.services = {
+                name: RankingService(
+                    model,
+                    scenario,
+                    page_size=self.config.page_size,
+                    ctr_provider=ctr_provider,
+                )
+                for name, model in models.items()
+            }
         self.behavior = BehaviorSimulator(scenario, mode=self.config.behavior_mode)
         # Disjoint user assignment: round-robin (modulo) or salted hash.
         names = sorted(models)
@@ -228,7 +247,15 @@ class ABTest:
                     candidates = rng.choice(
                         n_items, size=cfg.candidates_per_page, replace=False
                     )
-                    page, cvr_pred = service.serve_page(user, candidates, rng)
+                    try:
+                        page, cvr_pred = service.serve_page(
+                            user, candidates, rng
+                        )
+                    except RequestShedError:
+                        # A shed page is a real production outcome, not
+                        # an experiment failure: count it and move on.
+                        record.shed_pages += 1
+                        continue
                     outcome = self.behavior.roll_out(user, page, rng)
                     top = outcome.positions < cfg.top_k
                     record.page_views += 1

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -81,45 +81,81 @@ class Deadline:
 
 
 class AdmissionQueue:
-    """Bounded depth counter standing in for the server's request queue.
+    """Bounded request queue standing in for the server's run queue.
 
     Each in-flight request holds one slot (``try_admit``/``release``);
     a full queue sheds arrivals.  Simulations of backlog can pin slots
     with :meth:`occupy` (a load generator holding requests open) and
-    free them with :meth:`drain`.
+    free them with :meth:`drain`.  Pinned slots may carry a
+    :class:`Deadline`; entries whose deadline has expired are purged
+    *before* every admission decision, so stale requests that nobody
+    will wait for stop consuming capacity and shedding fresh traffic.
     """
 
     def __init__(self, policy: Optional[AdmissionPolicy] = None) -> None:
         self.policy = policy or AdmissionPolicy()
-        self.depth = 0
+        #: Slots held by requests currently being served.
+        self._inflight = 0
+        #: Pinned backlog slots, each optionally carrying its deadline.
+        self._backlog: List[Optional[Deadline]] = []
         self.offered = 0
         self.admitted = 0
         self.rejected = 0
+        #: Backlog entries dropped because their deadline expired.
+        self.expired_purged = 0
+
+    @property
+    def depth(self) -> int:
+        """Occupied slots: in-flight requests plus pinned backlog."""
+        return self._inflight + len(self._backlog)
 
     @property
     def fraction(self) -> float:
         """Current fullness in [0, 1]."""
         return self.depth / self.policy.max_queue_depth
 
+    def purge_expired(self) -> int:
+        """Drop backlog entries whose deadline has expired.
+
+        Returns how many were purged.  Runs automatically at the top of
+        :meth:`try_admit`, so admission decisions never count a request
+        that has already timed out against capacity.
+        """
+        live = [d for d in self._backlog if d is None or not d.expired()]
+        purged = len(self._backlog) - len(live)
+        if purged:
+            self._backlog = live
+            self.expired_purged += purged
+        return purged
+
     def try_admit(self) -> bool:
+        self.purge_expired()
         self.offered += 1
         if self.depth >= self.policy.max_queue_depth:
             self.rejected += 1
             return False
-        self.depth += 1
+        self._inflight += 1
         self.admitted += 1
         return True
 
     def release(self) -> None:
-        self.depth = max(self.depth - 1, 0)
+        self._inflight = max(self._inflight - 1, 0)
 
-    def occupy(self, n: int) -> None:
-        """Pin ``n`` slots (simulated backlog; capped at capacity)."""
-        self.depth = min(self.depth + n, self.policy.max_queue_depth)
+    def occupy(self, n: int, deadline: Optional[Deadline] = None) -> None:
+        """Pin ``n`` slots (simulated backlog; capped at capacity).
+
+        ``deadline`` attaches a latency budget to the pinned entries;
+        once it expires the next admission decision purges them.
+        """
+        room = max(self.policy.max_queue_depth - self.depth, 0)
+        self._backlog.extend([deadline] * min(n, room))
 
     def drain(self, n: Optional[int] = None) -> None:
         """Free ``n`` pinned slots (all of them when ``None``)."""
-        self.depth = 0 if n is None else max(self.depth - n, 0)
+        if n is None:
+            self._backlog.clear()
+        else:
+            del self._backlog[: max(n, 0)]
 
 
 @dataclass
@@ -143,10 +179,30 @@ class ServingStats:
     #: Requests served per source (redundant with the counters above,
     #: but convenient for dashboards).
     by_source: Dict[str, int] = field(default_factory=dict)
+    #: Per-served-request latency samples (seconds, injected clock).
+    latencies_s: List[float] = field(default_factory=list)
 
     def record(self, source: str) -> None:
         self.last_source = source
         self.by_source[source] = self.by_source.get(source, 0) + 1
+
+    def record_latency(self, seconds: float) -> None:
+        self.latencies_s.append(float(seconds))
+
+    def latency_percentile(self, q: float) -> float:
+        """The ``q``-th latency percentile (0.0 with no samples)."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(self.latencies_s, q))
+
+    def latency_summary(self) -> Dict[str, float]:
+        """p50/p95/p99 over every served request, from the service clock."""
+        return {
+            "n": float(len(self.latencies_s)),
+            "p50": self.latency_percentile(50.0),
+            "p95": self.latency_percentile(95.0),
+            "p99": self.latency_percentile(99.0),
+        }
 
     @property
     def degraded_fraction(self) -> float:
@@ -224,14 +280,15 @@ class RankingService:
         #: first fallback scorer when the primary path fails.
         self.ctr_provider = ctr_provider
         self.policy = policy or ServingPolicy()
+        self._clock = clock or time.monotonic
         self.breaker = breaker or CircuitBreaker(
             failure_threshold=self.policy.breaker_failure_threshold,
             recovery_time=self.policy.breaker_recovery_time,
+            clock=self._clock,
         )
         self.sentinel = sentinel
         self.admission = AdmissionQueue(admission)
         self.health = HealthMonitor(health or HealthPolicy())
-        self._clock = clock or time.monotonic
         self.stats = ServingStats()
         #: CVR prior reported for fallback-served pages (the scenario's
         #: calibrated click-space conversion rate).
@@ -279,6 +336,7 @@ class RankingService:
             "requests": self.stats.requests,
             "degraded_fraction": self.stats.degraded_fraction,
             "sanitizer_rejections": self.stats.sanitizer_rejections,
+            "latency": self.stats.latency_summary(),
             "drift": (
                 "ok" if self.sentinel is None else self.sentinel.status()
             ),
@@ -486,6 +544,7 @@ class RankingService:
         finally:
             self.admission.release()
         self.stats.record(source)
+        self.stats.record_latency(deadline.elapsed())
         self._update_health()
         # Belt-and-braces: whatever path served, the CVR estimates the
         # caller logs are finite and inside [0, 1].

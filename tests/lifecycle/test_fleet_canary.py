@@ -1,0 +1,161 @@
+"""Canary-through-the-fleet: the candidate rides the production path.
+
+A ``FleetCanaryRollout`` attaches the gated candidate to a live
+``ServingFleet`` as a real replica: canary users enter through fleet
+admission and hedging, a sick canary degrades only its hash slice
+(hedging onto champion replicas instead of shedding users), and
+``conclude`` detaches the candidate and returns the slice to the
+champion pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.lifecycle import (
+    CANDIDATE_ARM,
+    CHAMPION_ARM,
+    CanaryPolicy,
+    FleetCanaryRollout,
+    ModelLifecycleManager,
+    ModelRegistry,
+)
+from repro.lifecycle.gate import GatePolicy, PromotionGate
+from repro.reliability.drift import DriftThresholds
+from repro.simulation import ServingFleet
+
+pytestmark = [pytest.mark.lifecycle, pytest.mark.fleet]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def lax_gate():
+    return PromotionGate(
+        GatePolicy(
+            max_auc_regression=1.0,
+            max_ece_increase=1.0,
+            propensity_floor=0.0,
+            max_collapsed_fraction=1.0,
+            drift=DriftThresholds(psi_trip=1e9, ks_trip=1.0, min_samples=1),
+        )
+    )
+
+
+@pytest.fixture()
+def stack(tmp_path, world, factory, trained_model, clone_model):
+    """A manager with a promoted champion and a fleet serving it."""
+    train, test, scenario = world
+    manager = ModelLifecycleManager(
+        ModelRegistry(tmp_path / "registry"),
+        factory,
+        gate=lax_gate(),
+        canary_policy=CanaryPolicy(traffic_fraction=0.5, min_requests=20),
+    )
+    manager.submit(trained_model, test, note="bootstrap champion")
+    clock = FakeClock()
+    fleet = ServingFleet.from_registry(
+        manager.registry,
+        factory,
+        scenario,
+        3,
+        seed=5,
+        clock=clock,
+        page_size=6,
+    )
+    return manager, fleet, clock, scenario, test
+
+
+def drive(rollout, clock, n, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        clock.now += 0.01
+        user = int(rng.integers(0, 40))
+        candidates = rng.choice(50, size=12, replace=False)
+        rollout.serve_page(user, candidates, rng)
+
+
+class TestFleetCanary:
+    def test_clean_candidate_promotes_through_the_fleet(
+        self, stack, clone_model
+    ):
+        manager, fleet, clock, scenario, test = stack
+        manager.submit(clone_model(), test, note="clean retrain")
+        rollout = manager.build_canary(scenario, fleet=fleet, page_size=6)
+        assert isinstance(rollout, FleetCanaryRollout)
+        assert fleet.canary is not None
+
+        drive(rollout, clock, 150)
+        assert rollout.requests[CANDIDATE_ARM] >= 20
+        assert rollout.requests[CHAMPION_ARM] > 0
+        decision = manager.conclude_canary(rollout)
+        assert decision.action == "promote"
+        # Concluding detaches the candidate from the fleet.
+        assert fleet.canary is None
+
+    def test_canary_slice_uses_fleet_routing_path(self, stack, clone_model):
+        manager, fleet, clock, scenario, test = stack
+        manager.submit(clone_model(), test, note="clean retrain")
+        rollout = manager.build_canary(scenario, fleet=fleet, page_size=6)
+        drive(rollout, clock, 80)
+        # The rollout's arm split mirrors the fleet's own hash exactly.
+        for user in range(40):
+            expected = (
+                CANDIDATE_ARM
+                if fleet.routes_to_canary(user)
+                else CHAMPION_ARM
+            )
+            assert rollout.route(user) == expected
+        # Canary serves appear in the fleet transcript as the canary
+        # replica -- same door as champion traffic.
+        canary_name = fleet.canary.name
+        canary_events = [
+            e for e in fleet.transcript if e.served_by == canary_name
+        ]
+        assert canary_events
+        assert fleet.canary.service.stats.requests == len(canary_events)
+        manager.conclude_canary(rollout)
+
+    def test_sick_canary_hedges_onto_champions_and_demotes(
+        self, stack, clone_model
+    ):
+        manager, fleet, clock, scenario, test = stack
+        manager.submit(clone_model(), test, note="doomed retrain")
+        rollout = manager.build_canary(scenario, fleet=fleet, page_size=6)
+        candidate = rollout.arms[CANDIDATE_ARM]
+
+        def nan_scores(user, candidates, rng):
+            n = len(candidates)
+            return np.full(n, np.nan), np.full(n, np.nan)
+
+        candidate.score_candidates = nan_scores
+        drive(rollout, clock, 150)
+        # No canary user lost their page: failures hedged onto the
+        # champion replicas through the fleet.
+        assert rollout.shed[CANDIDATE_ARM] == 0
+        assert fleet.stats.hedges > 0
+        assert fleet.stats.by_source.get("fleet_popularity", 0) == 0
+        decision = manager.conclude_canary(rollout)
+        assert decision.action == "demote"
+        assert fleet.canary is None
+        # Demoted: the slice re-joins the champion pool.
+        assert all(rollout.route(u) == CHAMPION_ARM for u in range(40))
+
+    def test_stale_fleet_version_is_rejected(
+        self, stack, clone_model, factory
+    ):
+        manager, fleet, clock, scenario, test = stack
+        manager.submit(clone_model(), test, note="clean retrain")
+        fleet.version = "v999-stale"
+        with pytest.raises(RuntimeError, match="rebuild the fleet"):
+            manager.build_canary(scenario, fleet=fleet, page_size=6)
+
+    def test_unattached_candidate_rejected(self, stack, factory):
+        manager, fleet, clock, scenario, test = stack
+        orphan = fleet.replicas[0].service
+        with pytest.raises(ValueError, match="attach_canary"):
+            FleetCanaryRollout(fleet, orphan, "v-orphan")

@@ -198,6 +198,30 @@ class TestCircuitBreaker:
         breaker.record_failure()
         assert breaker.state == "closed"
 
+    def test_snapshot_reports_time_to_half_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_time=30.0, clock=clock
+        )
+        assert breaker.snapshot()["time_to_half_open"] == 0.0
+        breaker.record_failure()
+        clock.now = 10.0
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["time_to_half_open"] == pytest.approx(20.0)
+        clock.now = 31.0
+        snap = breaker.snapshot()
+        assert snap["state"] == "half_open"
+        assert snap["time_to_half_open"] == 0.0
+        # Structured like HealthMonitor.snapshot(): flat, typed fields a
+        # dashboard can consume without parsing repr strings.
+        assert {
+            "state",
+            "consecutive_failures",
+            "time_to_half_open",
+            "times_opened",
+        } <= set(snap)
+
     def test_success_resets_failure_streak(self):
         breaker = CircuitBreaker(failure_threshold=3)
         breaker.record_failure()

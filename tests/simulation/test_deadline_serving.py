@@ -27,7 +27,12 @@ from repro.reliability.health import (
     HealthMonitor,
     HealthPolicy,
 )
-from repro.simulation.serving import AdmissionQueue, Deadline, RankingService
+from repro.simulation.serving import (
+    AdmissionQueue,
+    Deadline,
+    RankingService,
+    ServingStats,
+)
 
 pytestmark = pytest.mark.robustness
 
@@ -120,6 +125,69 @@ class TestAdmissionQueue:
             AdmissionPolicy(max_queue_depth=0)
         with pytest.raises(ValueError):
             AdmissionPolicy(shed_stride=0)
+
+    def test_expired_backlog_is_purged_before_admission(self):
+        # Regression: a backlog of requests whose deadlines have
+        # already passed must not keep shedding fresh arrivals -- the
+        # dead entries are purged when the next admission is decided.
+        clock = FakeClock()
+        queue = AdmissionQueue(AdmissionPolicy(max_queue_depth=2))
+        queue.occupy(2, deadline=Deadline(0.5, clock))
+        assert queue.depth == 2
+        assert not queue.try_admit()  # full of waiting work
+        clock.now = 1.0  # both backlog deadlines are now expired
+        assert queue.try_admit()
+        assert queue.depth == 1  # the admitted request, dead wood gone
+        assert queue.expired_purged == 2
+
+    def test_unexpired_backlog_still_counts(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(AdmissionPolicy(max_queue_depth=2))
+        queue.occupy(2, deadline=Deadline(10.0, clock))
+        clock.now = 1.0  # well within budget
+        assert not queue.try_admit()
+        assert queue.expired_purged == 0
+
+    def test_deadline_free_backlog_is_never_purged(self):
+        clock = FakeClock()
+        queue = AdmissionQueue(AdmissionPolicy(max_queue_depth=2))
+        queue.occupy(2)  # synthetic load with no deadlines
+        clock.now = 1e9
+        assert queue.purge_expired() == 0
+        assert queue.depth == 2
+
+
+class TestLatencyPercentiles:
+    def test_empty_stats_report_zeros(self):
+        stats = ServingStats()
+        assert stats.latency_percentile(99.0) == 0.0
+        assert stats.latency_summary() == {
+            "n": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0
+        }
+
+    def test_percentiles_from_injected_clock(self, world):
+        clock = FakeClock()
+        service = make_service(world, clock=clock)
+        base = service.score_candidates
+        delays = iter([0.01] * 50 + [0.5])  # one slow outlier request
+
+        def slow(user, candidates, rng):
+            clock.now += next(delays)
+            return base(user, candidates, rng)
+
+        service.score_candidates = slow
+        rng = np.random.default_rng(0)
+        for _ in range(51):
+            candidates = rng.choice(50, size=12, replace=False)
+            service.serve_page(int(rng.integers(0, 40)), candidates, rng)
+        summary = service.stats.latency_summary()
+        assert summary["n"] == 51
+        # The bulk of traffic sits at 10ms; only the tail percentile is
+        # pulled up by the single slow request.
+        assert summary["p50"] == pytest.approx(0.01)
+        assert summary["p95"] == pytest.approx(0.01)
+        assert summary["p99"] > 0.01
+        assert service.health_snapshot()["latency"] == summary
 
 
 class TestHealthMonitor:
