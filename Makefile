@@ -1,6 +1,6 @@
 # Convenience targets for the DCMT reproduction.
 
-.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest verify-lifecycle verify-fleet
+.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest verify-lifecycle verify-fleet verify-plan
 
 install:
 	pip install -e . || python setup.py develop
@@ -18,10 +18,10 @@ lint:
 		echo "ruff not installed; skipping lint"; \
 	fi
 
-# The CI gate: lint, the robustness, ingest, lifecycle, and fleet
-# lanes, then the full tier-1 suite from a clean checkout -- every PR
-# runs all of it.
-verify: lint verify-robustness verify-ingest verify-lifecycle verify-fleet
+# The CI gate: lint, the robustness, ingest, lifecycle, fleet, and
+# plan lanes, then the full tier-1 suite from a clean checkout --
+# every PR runs all of it.
+verify: lint verify-robustness verify-ingest verify-lifecycle verify-fleet verify-plan
 	PYTHONPATH=src python -m pytest -x -q tests/
 
 # Every test tagged `robustness`: degenerate-batch hardening plus the
@@ -49,6 +49,12 @@ verify-lifecycle:
 # fleet health quorum, and the seeded replica-loss chaos drills.
 verify-fleet:
 	PYTHONPATH=src pytest -m fleet tests/
+
+# Every test tagged `plan`: compiled execution-plan parity (bit-exact
+# vs eager across models, optimizers, checkpoints) and the
+# shape-signature fallback policy.
+verify-plan:
+	PYTHONPATH=src pytest -m plan tests/
 
 # Throughput-only benches (dense/sparse training + inference); writes
 # BENCH_throughput.json at the repo root with measured rows/s, the

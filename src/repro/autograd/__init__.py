@@ -34,6 +34,13 @@ from repro.autograd.sparse import (
 from repro.autograd import ops
 from repro.autograd import functional
 from repro.autograd.grad_check import check_gradients, numerical_gradient
+from repro.autograd.plan import (
+    CompiledPlan,
+    PlanMismatch,
+    PlanRunner,
+    PlanUnsupported,
+    compile_plan,
+)
 
 __all__ = [
     "Tensor",
@@ -47,4 +54,9 @@ __all__ = [
     "set_sparse_grads",
     "sparse_grads",
     "sparse_grads_enabled",
+    "CompiledPlan",
+    "PlanMismatch",
+    "PlanRunner",
+    "PlanUnsupported",
+    "compile_plan",
 ]

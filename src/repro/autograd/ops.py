@@ -30,6 +30,7 @@ from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.autograd import planmode as _planmode
 from repro.autograd.sparse import SparseRowGrad, sparse_grads_enabled
 from repro.autograd.tensor import Tensor, _as_tensor, unbroadcast
 from repro.perf.profiler import active as _profiler_active
@@ -38,7 +39,12 @@ ArrayLike = Union[Tensor, np.ndarray, float, int, list, tuple]
 
 
 def _instrumented(fn):
-    """Report call count, wall time and output bytes to the profiler."""
+    """Report call count, wall time and output bytes to the profiler.
+
+    During plan replay the op writes into a persistent arena buffer, so
+    its output bytes are *reused*, not allocated; the profiler records
+    them in the ``bytes_reused`` column instead of ``bytes_total``.
+    """
     name = fn.__name__
 
     @functools.wraps(fn)
@@ -50,7 +56,11 @@ def _instrumented(fn):
         out = fn(*args, **kwargs)
         elapsed = time.perf_counter() - started
         data = getattr(out, "data", out)
-        profiler.record(name, elapsed, int(getattr(data, "nbytes", 0)))
+        nbytes = int(getattr(data, "nbytes", 0))
+        if _planmode._REPLAY is not None:
+            profiler.record(name, elapsed, 0, nbytes)
+        else:
+            profiler.record(name, elapsed, nbytes)
         return out
 
     return wrapper
@@ -60,12 +70,17 @@ def _instrumented(fn):
 def exp(x: ArrayLike) -> Tensor:
     """Elementwise exponential."""
     x = _as_tensor(x)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("exp", (x,))
     out_data = np.exp(x.data)
 
     def backward(grad: np.ndarray, a=x, out=out_data) -> Iterable:
         return ((a, grad * out, True),)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("exp", out, (x,))
+    return out
 
 
 @_instrumented
@@ -77,12 +92,17 @@ def log(x: ArrayLike) -> Tensor:
     mirroring the paper's clipping of propensities to ``(0, 1)``).
     """
     x = _as_tensor(x)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("log", (x,))
     out_data = np.log(x.data)
 
     def backward(grad: np.ndarray, a=x) -> Iterable:
         return ((a, grad / a.data, True),)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("log", out, (x,))
+    return out
 
 
 @_instrumented
@@ -100,6 +120,8 @@ def sigmoid(x: ArrayLike) -> Tensor:
     sigmoid into a logits-space log-loss.
     """
     x = _as_tensor(x)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("sigmoid", (x,))
     data = x.data
     e = np.exp(-np.abs(data))
     t = 1.0 / (1.0 + e)
@@ -110,6 +132,8 @@ def sigmoid(x: ArrayLike) -> Tensor:
 
     out = Tensor._make(out_data, (x,), backward)
     out._logits = x
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("sigmoid", out, (x,))
     return out
 
 
@@ -117,36 +141,51 @@ def sigmoid(x: ArrayLike) -> Tensor:
 def tanh(x: ArrayLike) -> Tensor:
     """Elementwise hyperbolic tangent."""
     x = _as_tensor(x)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("tanh", (x,))
     out_data = np.tanh(x.data)
 
     def backward(grad: np.ndarray, a=x, out=out_data) -> Iterable:
         return ((a, grad * (1.0 - out**2), True),)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("tanh", out, (x,))
+    return out
 
 
 @_instrumented
 def relu(x: ArrayLike) -> Tensor:
     """Elementwise rectified linear unit."""
     x = _as_tensor(x)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("relu", (x,))
     out_data = np.maximum(x.data, 0.0)
 
     def backward(grad: np.ndarray, a=x) -> Iterable:
         return ((a, grad * (a.data > 0), True),)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("relu", out, (x,))
+    return out
 
 
 @_instrumented
 def leaky_relu(x: ArrayLike, negative_slope: float = 0.01) -> Tensor:
     """Leaky ReLU with configurable negative slope."""
     x = _as_tensor(x)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("leaky_relu", (x,), (negative_slope,))
     out_data = np.where(x.data > 0, x.data, negative_slope * x.data)
 
     def backward(grad: np.ndarray, a=x, slope=negative_slope) -> Iterable:
         return ((a, grad * np.where(a.data > 0, 1.0, slope), True),)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("leaky_relu", out, (x,), (negative_slope,))
+    return out
 
 
 @_instrumented
@@ -157,12 +196,17 @@ def absolute(x: ArrayLike) -> Tensor:
     ``|1 - (r_hat + r_hat*)|`` (Eq. (9) in the paper).
     """
     x = _as_tensor(x)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("absolute", (x,))
     out_data = np.abs(x.data)
 
     def backward(grad: np.ndarray, a=x) -> Iterable:
         return ((a, grad * np.sign(a.data), True),)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("absolute", out, (x,))
+    return out
 
 
 @_instrumented
@@ -174,19 +218,26 @@ def clip(x: ArrayLike, low: float, high: float) -> Tensor:
     ``o_hat`` away from 0 and 1 to avoid NaN losses (Section III-F).
     """
     x = _as_tensor(x)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("clip", (x,), (low, high))
     out_data = np.clip(x.data, low, high)
 
     def backward(grad: np.ndarray, a=x, lo=low, hi=high) -> Iterable:
         mask = (a.data >= lo) & (a.data <= hi)
         return ((a, grad * mask, True),)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("clip", out, (x,), (low, high))
+    return out
 
 
 @_instrumented
 def maximum(x: ArrayLike, y: ArrayLike) -> Tensor:
     """Elementwise maximum (gradient routed to the larger input)."""
     x, y = _as_tensor(x), _as_tensor(y)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("maximum", (x, y))
     out_data = np.maximum(x.data, y.data)
 
     def backward(grad: np.ndarray, a=x, b=y) -> Iterable:
@@ -196,7 +247,10 @@ def maximum(x: ArrayLike, y: ArrayLike) -> Tensor:
             (b, unbroadcast(grad * (~choose_a), b.shape), True),
         )
 
-    return Tensor._make(out_data, (x, y), backward)
+    out = Tensor._make(out_data, (x, y), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("maximum", out, (x, y))
+    return out
 
 
 @_instrumented
@@ -204,6 +258,8 @@ def where(condition: ArrayLike, x: ArrayLike, y: ArrayLike) -> Tensor:
     """Differentiable ``numpy.where`` (condition carries no gradient)."""
     cond = condition.data if isinstance(condition, Tensor) else np.asarray(condition)
     x, y = _as_tensor(x), _as_tensor(y)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("where", (cond, x, y))
     out_data = np.where(cond, x.data, y.data)
 
     def backward(grad: np.ndarray, a=x, b=y, c=cond) -> Iterable:
@@ -212,7 +268,10 @@ def where(condition: ArrayLike, x: ArrayLike, y: ArrayLike) -> Tensor:
             (b, unbroadcast(grad * (~np.asarray(c, dtype=bool)), b.shape), True),
         )
 
-    return Tensor._make(out_data, (x, y), backward)
+    out = Tensor._make(out_data, (x, y), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("where", out, (cond, x, y))
+    return out
 
 
 @_instrumented
@@ -230,14 +289,15 @@ def affine(x: ArrayLike, weight: ArrayLike, bias: Optional[ArrayLike] = None) ->
         raise ValueError(
             f"affine expects 2-D inputs, got x{x.shape} @ weight{weight.shape}"
         )
+    b = None if bias is None else _as_tensor(bias)
+    if b is not None and b.ndim != 1:
+        raise ValueError(f"affine bias must be 1-D, got shape {b.shape}")
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("affine", (x, weight, b))
     out_data = x.data @ weight.data
-    if bias is None:
+    if b is None:
         parents = (x, weight)
-        b = None
     else:
-        b = _as_tensor(bias)
-        if b.ndim != 1:
-            raise ValueError(f"affine bias must be 1-D, got shape {b.shape}")
         out_data += b.data
         parents = (x, weight, b)
 
@@ -251,7 +311,10 @@ def affine(x: ArrayLike, weight: ArrayLike, bias: Optional[ArrayLike] = None) ->
             entries.append((bb, grad.sum(axis=0), True))
         return entries
 
-    return Tensor._make(out_data, parents, backward)
+    out = Tensor._make(out_data, parents, backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("affine", out, (x, weight, b))
+    return out
 
 
 @_instrumented
@@ -275,8 +338,10 @@ def sigmoid_bce(
     Returns the unreduced per-sample loss.
     """
     logits = _as_tensor(logits)
-    z = logits.data
     y = targets.data if isinstance(targets, Tensor) else np.asarray(targets, dtype=float)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("sigmoid_bce", (logits, y, probs))
+    z = logits.data
     out_data = np.maximum(z, 0.0) - z * y + np.log1p(np.exp(-np.abs(z)))
 
     def backward(grad: np.ndarray, a=logits, yy=y, s=probs) -> Iterable:
@@ -286,13 +351,18 @@ def sigmoid_bce(
             s = np.where(a.data >= 0, t, 1.0 - t)
         return ((a, (s - yy) * grad, True),)
 
-    return Tensor._make(out_data, (logits,), backward)
+    out = Tensor._make(out_data, (logits,), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("sigmoid_bce", out, (logits, y, probs))
+    return out
 
 
 @_instrumented
 def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
     """Concatenate tensors along ``axis``."""
     ts = [_as_tensor(t) for t in tensors]
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("concat", tuple(ts), (axis,))
     out_data = np.concatenate([t.data for t in ts], axis=axis)
     sizes = [t.data.shape[axis] for t in ts]
     offsets = np.cumsum([0] + sizes)
@@ -305,13 +375,18 @@ def concat(tensors: Sequence[ArrayLike], axis: int = -1) -> Tensor:
             result.append((part, grad[tuple(slicer)]))
         return result
 
-    return Tensor._make(out_data, tuple(ts), backward)
+    out = Tensor._make(out_data, tuple(ts), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("concat", out, tuple(ts), (axis,))
+    return out
 
 
 @_instrumented
 def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis."""
     ts = [_as_tensor(t) for t in tensors]
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("stack", tuple(ts), (axis,))
     out_data = np.stack([t.data for t in ts], axis=axis)
 
     def backward(grad: np.ndarray, parts=ts, ax=axis) -> Iterable:
@@ -319,7 +394,10 @@ def stack(tensors: Sequence[ArrayLike], axis: int = 0) -> Tensor:
             (part, np.take(grad, i, axis=ax), True) for i, part in enumerate(parts)
         ]
 
-    return Tensor._make(out_data, tuple(ts), backward)
+    out = Tensor._make(out_data, tuple(ts), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("stack", out, tuple(ts), (axis,))
+    return out
 
 
 @_instrumented
@@ -338,9 +416,12 @@ def take_rows(table: ArrayLike, indices: np.ndarray) -> Tensor:
     idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
     if not np.issubdtype(idx.dtype, np.integer):
         raise TypeError(f"indices must be integers, got {idx.dtype}")
+    sparse = sparse_grads_enabled()
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("take_rows", (table, idx), (sparse,))
     out_data = table.data[idx]
 
-    if sparse_grads_enabled():
+    if sparse:
 
         def backward(grad: np.ndarray, t=table, i=idx) -> Iterable:
             return ((t, SparseRowGrad.from_lookup(i, grad, t.data.shape), True),)
@@ -352,13 +433,18 @@ def take_rows(table: ArrayLike, indices: np.ndarray) -> Tensor:
             np.add.at(full, i, grad)
             return ((t, full, True),)
 
-    return Tensor._make(out_data, (table,), backward)
+    out = Tensor._make(out_data, (table,), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("take_rows", out, (table, idx), (sparse,))
+    return out
 
 
 @_instrumented
 def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis`` (used by MMoE/PLE gates)."""
     x = _as_tensor(x)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("softmax", (x,), (axis,))
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     exps = np.exp(shifted)
     out_data = exps / exps.sum(axis=axis, keepdims=True)
@@ -367,7 +453,10 @@ def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
         dot = (grad * out).sum(axis=ax, keepdims=True)
         return ((a, out * (grad - dot), True),)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("softmax", out, (x,), (axis,))
+    return out
 
 
 def dropout_mask(
@@ -386,9 +475,14 @@ def dropout_mask(
 def squeeze(x: ArrayLike, axis: Optional[int] = None) -> Tensor:
     """Remove a singleton axis (all singleton axes when ``axis`` is None)."""
     x = _as_tensor(x)
+    if _planmode._REPLAY is not None:
+        return _planmode._REPLAY.run("squeeze", (x,), (axis,))
     out_data = np.squeeze(x.data, axis=axis)
 
     def backward(grad: np.ndarray, a=x) -> Iterable:
         return ((a, grad.reshape(a.shape)),)
 
-    return Tensor._make(out_data, (x,), backward)
+    out = Tensor._make(out_data, (x,), backward)
+    if _planmode._TRACER is not None:
+        _planmode._TRACER.record("squeeze", out, (x,), (axis,))
+    return out

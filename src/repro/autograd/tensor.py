@@ -35,6 +35,7 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.autograd import planmode as _planmode
 from repro.autograd.sparse import SparseRowGrad
 from repro.perf.profiler import active as _profiler_active
 
@@ -292,6 +293,39 @@ class Tensor:
         # id(node) -> [grad, owned]; popped as each node is visited, so
         # scratch buffers die as soon as their consumers have run.
         grads = {id(self): [grad, seed_owned]}
+        if profiler is None:
+            for node in topo:
+                entry = grads.pop(id(node), None)
+                if entry is None:
+                    continue
+                node_grad, node_owned = entry
+                backward_fn = node._backward
+                if backward_fn is None:
+                    node._accumulate(node_grad, owned=node_owned)
+                    continue
+                if node._retains_grad:
+                    # Copy: the buffer is still consumed by the closure below.
+                    node._accumulate(node_grad, owned=False)
+                for item in backward_fn(node_grad):
+                    if len(item) == 3:
+                        parent, pgrad, powned = item
+                    else:
+                        parent, pgrad = item
+                        powned = False
+                    if not parent.requires_grad or pgrad is None:
+                        continue
+                    key = id(parent)
+                    existing = grads.get(key)
+                    if existing is None:
+                        grads[key] = [pgrad, powned]
+                    else:
+                        _merge_grad(existing, pgrad)
+            return
+
+        # Profiled variant: identical semantics, plus per-kernel wall
+        # time and bytes of freshly allocated (owned) gradient buffers
+        # recorded as ``backward.<op>`` pseudo-ops.
+        total_bytes = 0
         for node in topo:
             entry = grads.pop(id(node), None)
             if entry is None:
@@ -302,8 +336,9 @@ class Tensor:
                 node._accumulate(node_grad, owned=node_owned)
                 continue
             if node._retains_grad:
-                # Copy: the buffer is still consumed by the closure below.
                 node._accumulate(node_grad, owned=False)
+            node_started = time.perf_counter()
+            owned_bytes = 0
             for item in backward_fn(node_grad):
                 if len(item) == 3:
                     parent, pgrad, powned = item
@@ -312,15 +347,21 @@ class Tensor:
                     powned = False
                 if not parent.requires_grad or pgrad is None:
                     continue
+                if powned:
+                    owned_bytes += _grad_nbytes(pgrad)
                 key = id(parent)
                 existing = grads.get(key)
                 if existing is None:
                     grads[key] = [pgrad, powned]
                 else:
                     _merge_grad(existing, pgrad)
-
-        if profiler is not None:
-            profiler.record("backward", time.perf_counter() - started)
+            total_bytes += owned_bytes
+            profiler.record(
+                "backward." + _kernel_label(backward_fn),
+                time.perf_counter() - node_started,
+                owned_bytes,
+            )
+        profiler.record("backward", time.perf_counter() - started, total_bytes)
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient."""
@@ -335,6 +376,8 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other: ArrayLike) -> "Tensor":
         other = _as_tensor(other)
+        if _planmode._REPLAY is not None:
+            return _planmode._REPLAY.run("add", (self, other))
         out_data = self.data + other.data
 
         def backward(grad: np.ndarray, a=self, b=other) -> Iterable:
@@ -347,15 +390,24 @@ class Tensor:
                 entries.append((b, gb, gb is not grad))
             return entries
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(out_data, (self, other), backward)
+        if _planmode._TRACER is not None:
+            _planmode._TRACER.record("add", out, (self, other))
+        return out
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
+        if _planmode._REPLAY is not None:
+            return _planmode._REPLAY.run("neg", (self,))
+
         def backward(grad: np.ndarray, a=self) -> Iterable:
             return ((a, -grad, True),)
 
-        return Tensor._make(-self.data, (self,), backward)
+        out = Tensor._make(-self.data, (self,), backward)
+        if _planmode._TRACER is not None:
+            _planmode._TRACER.record("neg", out, (self,))
+        return out
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-_as_tensor(other))
@@ -365,6 +417,8 @@ class Tensor:
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
         other = _as_tensor(other)
+        if _planmode._REPLAY is not None:
+            return _planmode._REPLAY.run("mul", (self, other))
         out_data = self.data * other.data
 
         def backward(grad: np.ndarray, a=self, b=other) -> Iterable:
@@ -375,12 +429,17 @@ class Tensor:
                 entries.append((b, unbroadcast(grad * a.data, b.data.shape), True))
             return entries
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(out_data, (self, other), backward)
+        if _planmode._TRACER is not None:
+            _planmode._TRACER.record("mul", out, (self, other))
+        return out
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
         other = _as_tensor(other)
+        if _planmode._REPLAY is not None:
+            return _planmode._REPLAY.run("div", (self, other))
         out_data = self.data / other.data
 
         def backward(grad: np.ndarray, a=self, b=other) -> Iterable:
@@ -393,7 +452,10 @@ class Tensor:
                 )
             return entries
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(out_data, (self, other), backward)
+        if _planmode._TRACER is not None:
+            _planmode._TRACER.record("div", out, (self, other))
+        return out
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return _as_tensor(other) / self
@@ -401,15 +463,22 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
             raise TypeError("tensor exponents are not supported; use exp/log")
+        if _planmode._REPLAY is not None:
+            return _planmode._REPLAY.run("pow", (self,), (exponent,))
         out_data = self.data**exponent
 
         def backward(grad: np.ndarray, a=self, n=exponent) -> Iterable:
             return ((a, grad * n * a.data ** (n - 1), True),)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _planmode._TRACER is not None:
+            _planmode._TRACER.record("pow", out, (self,), (exponent,))
+        return out
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         other = _as_tensor(other)
+        if _planmode._REPLAY is not None:
+            return _planmode._REPLAY.run("matmul", (self, other))
         out_data = self.data @ other.data
 
         def backward(grad: np.ndarray, a=self, b=other) -> Iterable:
@@ -429,7 +498,10 @@ class Tensor:
                 entries.append((b, unbroadcast(grad_b, b.data.shape), True))
             return entries
 
-        return Tensor._make(out_data, (self, other), backward)
+        out = Tensor._make(out_data, (self, other), backward)
+        if _planmode._TRACER is not None:
+            _planmode._TRACER.record("matmul", out, (self, other))
+        return out
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -437,29 +509,45 @@ class Tensor:
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
+        if _planmode._REPLAY is not None:
+            return _planmode._REPLAY.run("reshape", (self,), (tuple(shape),))
         out_data = self.data.reshape(shape)
 
         def backward(grad: np.ndarray, a=self) -> Iterable:
             # Usually a view of the incoming gradient: not owned.
             return ((a, grad.reshape(a.data.shape)),)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _planmode._TRACER is not None:
+            _planmode._TRACER.record("reshape", out, (self,), (tuple(shape),))
+        return out
 
     def transpose(self, *axes: int) -> "Tensor":
         axes_tuple = axes if axes else tuple(reversed(range(self.ndim)))
+        inverse = tuple(int(i) for i in np.argsort(axes_tuple))
+        if _planmode._REPLAY is not None:
+            return _planmode._REPLAY.run(
+                "transpose", (self,), (axes_tuple, inverse)
+            )
         out_data = self.data.transpose(axes_tuple)
-        inverse = tuple(np.argsort(axes_tuple))
 
         def backward(grad: np.ndarray, a=self, inv=inverse) -> Iterable:
             return ((a, grad.transpose(inv)),)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _planmode._TRACER is not None:
+            _planmode._TRACER.record(
+                "transpose", out, (self,), (axes_tuple, inverse)
+            )
+        return out
 
     @property
     def T(self) -> "Tensor":
         return self.transpose()
 
     def __getitem__(self, index) -> "Tensor":
+        if _planmode._REPLAY is not None:
+            return _planmode._REPLAY.run("getitem", (self,))
         out_data = self.data[index]
 
         def backward(grad: np.ndarray, a=self, idx=index) -> Iterable:
@@ -467,12 +555,19 @@ class Tensor:
             np.add.at(full, idx, grad)
             return ((a, full, True),)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _planmode._TRACER is not None:
+            # Recorded so the compiler sees it and rejects the plan
+            # (arbitrary fancy indexing is not lowered).
+            _planmode._TRACER.record("getitem", out, (self,))
+        return out
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if _planmode._REPLAY is not None:
+            return _planmode._REPLAY.run("sum", (self,), (axis, keepdims))
         out_data = self.data.sum(axis=axis, keepdims=keepdims)
 
         def backward(grad: np.ndarray, a=self, ax=axis, kd=keepdims) -> Iterable:
@@ -483,7 +578,10 @@ class Tensor:
             # engine from ever writing into it.
             return ((a, np.broadcast_to(g, a.data.shape)),)
 
-        return Tensor._make(out_data, (self,), backward)
+        out = Tensor._make(out_data, (self,), backward)
+        if _planmode._TRACER is not None:
+            _planmode._TRACER.record("sum", out, (self,), (axis, keepdims))
+        return out
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -518,6 +616,34 @@ def _as_tensor(value: ArrayLike) -> Tensor:
 
 def _as_array(value: ArrayLike) -> np.ndarray:
     return value.data if isinstance(value, Tensor) else np.asarray(value)
+
+
+_KERNEL_LABELS: dict = {}
+
+
+def _kernel_label(fn: Callable) -> str:
+    """Human-readable op name for a backward closure, cached by code object.
+
+    ``Tensor.__add__.<locals>.backward`` -> ``add``;
+    ``relu.<locals>.backward`` -> ``relu``.
+    """
+    code = fn.__code__
+    label = _KERNEL_LABELS.get(code)
+    if label is None:
+        label = getattr(fn, "__qualname__", "op").split(".<locals>")[0]
+        if label.startswith("Tensor."):
+            label = label[len("Tensor."):]
+        label = label.strip("_") or "op"
+        _KERNEL_LABELS[code] = label
+    return label
+
+
+def _grad_nbytes(grad) -> int:
+    """Bytes of a gradient buffer (dense array or SparseRowGrad)."""
+    nbytes = getattr(grad, "nbytes", None)
+    if nbytes is not None:
+        return int(nbytes)
+    return int(grad.values.nbytes) + int(grad.indices.nbytes)
 
 
 def _merge_grad(entry: list, new) -> None:

@@ -32,7 +32,12 @@ def _instrument_step(fn):
             return fn(self)
         started = time.perf_counter()
         out = fn(self)
-        profiler.record("optimizer.step", time.perf_counter() - started)
+        profiler.record(
+            "optimizer.step",
+            time.perf_counter() - started,
+            getattr(self, "_step_alloc_bytes", 0),
+            getattr(self, "_step_reused_bytes", 0),
+        )
         return out
 
     return wrapper

@@ -48,14 +48,20 @@ class OpStat:
     bytes_total: int = 0
     #: Largest single output allocation (peak temporary pressure proxy).
     bytes_peak: int = 0
+    #: Bytes served from reused storage (compiled-plan arena buffers,
+    #: optimizer scratch pools) instead of fresh allocations.
+    bytes_reused: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "calls": self.calls,
             "seconds": self.seconds,
             "bytes_total": self.bytes_total,
             "bytes_peak": self.bytes_peak,
         }
+        if self.bytes_reused:
+            out["bytes_reused"] = self.bytes_reused
+        return out
 
 
 class OpProfiler:
@@ -73,7 +79,9 @@ class OpProfiler:
         self._previous: Optional[OpProfiler] = None
 
     # ------------------------------------------------------------------
-    def record(self, name: str, seconds: float, nbytes: int = 0) -> None:
+    def record(
+        self, name: str, seconds: float, nbytes: int = 0, reused: int = 0
+    ) -> None:
         stat = self.stats.get(name)
         if stat is None:
             stat = self.stats[name] = OpStat()
@@ -82,6 +90,7 @@ class OpProfiler:
         stat.bytes_total += nbytes
         if nbytes > stat.bytes_peak:
             stat.bytes_peak = nbytes
+        stat.bytes_reused += reused
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "OpProfiler":

@@ -34,6 +34,13 @@ class TrainConfig:
     #: Record an op-level profile of the fit loop into
     #: ``TrainingHistory.op_profile`` (small constant overhead per op).
     profile_ops: bool = False
+    #: Compile the autograd tape into a reusable execution plan: the
+    #: first full-size step is traced, lowered to a pre-resolved ``out=``
+    #: kernel sequence backed by a buffer arena, and replayed on every
+    #: subsequent step.  Bit-exact to eager execution (see
+    #: ``tests/autograd/test_plan_parity.py``); ragged final batches and
+    #: shape/parameter changes fall back to eager automatically.
+    compile_plan: bool = False
 
     def __post_init__(self) -> None:
         self.validate()

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.autograd.plan import PlanRunner
 from repro.autograd.sparse import sparse_grads
 from repro.data.batching import batch_iterator
 from repro.data.dataset import InteractionDataset
@@ -80,6 +81,9 @@ class TrainingEngine:
         )
         self.callbacks: List[Callback] = list(callbacks)
         self._rng = np.random.default_rng(config.seed)
+        #: Plan runner of the most recent ``fit`` call (``None`` when
+        #: ``config.compile_plan`` is off); exposes trace/replay stats.
+        self.plan_runner: Optional[PlanRunner] = None
 
     # ------------------------------------------------------------------
     def fit(
@@ -108,6 +112,12 @@ class TrainingEngine:
             rng=self._rng,
             callbacks=hooks.callbacks,
         )
+        runner: Optional[PlanRunner] = None
+        if self.config.compile_plan:
+            runner = PlanRunner(
+                self.model, expected_batch_size=self.config.batch_size
+            )
+        self.plan_runner = runner
         start_epoch = 0
         skip_batches = 0
 
@@ -172,14 +182,20 @@ class TrainingEngine:
                     ctx.batch_index = i
                     ctx.batch = batch
                     hooks.fire("on_batch_start", ctx)
-                    loss = self.model.loss(ctx.batch)
+                    if runner is not None:
+                        loss = runner.forward(ctx.batch)
+                    else:
+                        loss = self.model.loss(ctx.batch)
                     ctx.loss_value = loss.item()
                     ctx.skip_step = False
                     hooks.fire("on_loss_computed", ctx)
                     if ctx.skip_step:
                         continue
                     self.optimizer.zero_grad()
-                    loss.backward()
+                    if runner is not None:
+                        runner.backward(loss)
+                    else:
+                        loss.backward()
                     hooks.fire("on_backward_end", ctx)
                     if self.config.grad_clip is not None:
                         clip_global_norm(

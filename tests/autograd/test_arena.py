@@ -1,0 +1,103 @@
+"""Unit tests for the plan buffer arena and its interval allocator."""
+
+import numpy as np
+import pytest
+
+from repro.autograd.arena import Arena, IntervalAllocator
+
+pytestmark = pytest.mark.plan
+
+
+class TestArenaSlots:
+    def test_slot_allocates_once_then_reuses(self):
+        arena = Arena()
+        a = arena.slot("x", (4, 3), np.float64)
+        b = arena.slot("x", (4, 3), np.float64)
+        assert a is b
+        assert arena.stats.allocations == 1
+        assert arena.stats.hits == 1
+        assert arena.stats.bytes_allocated == a.nbytes
+        assert arena.stats.bytes_reused == a.nbytes
+
+    def test_slot_reallocates_on_shape_change(self):
+        arena = Arena()
+        a = arena.slot("x", (4,), np.float64)
+        b = arena.slot("x", (8,), np.float64)
+        assert a is not b
+        assert b.shape == (8,)
+        assert arena.stats.allocations == 2
+
+    def test_scratch_pool_recycles_by_shape_and_dtype(self):
+        arena = Arena()
+        a = arena.take_scratch((5,), np.float64)
+        arena.release_scratch(a)
+        b = arena.take_scratch((5,), np.float64)
+        assert a is b
+        c = arena.take_scratch((5,), np.bool_)
+        assert c is not b
+        assert c.dtype == np.bool_
+
+    def test_bytes_peak_is_footprint(self):
+        arena = Arena()
+        arena.slot("a", (10,), np.float64)
+        arena.slot("b", (20,), np.float64)
+        assert arena.bytes_peak == arena.stats.bytes_allocated == 30 * 8
+
+
+class TestIntervalAllocator:
+    def test_disjoint_lifetimes_share_storage(self):
+        arena = Arena()
+        alloc = IntervalAllocator()
+        alloc.request("g0", (6,), np.float64, birth=0, death=2)
+        alloc.request("g1", (6,), np.float64, birth=3, death=5)
+        out = alloc.assign(arena)
+        assert out["g0"] is out["g1"]
+        assert arena.stats.allocations == 1
+
+    def test_overlapping_lifetimes_get_distinct_storage(self):
+        arena = Arena()
+        alloc = IntervalAllocator()
+        alloc.request("g0", (6,), np.float64, birth=0, death=4)
+        alloc.request("g1", (6,), np.float64, birth=2, death=5)
+        out = alloc.assign(arena)
+        assert out["g0"] is not out["g1"]
+        assert arena.stats.allocations == 2
+
+    def test_shape_mismatch_never_shares(self):
+        arena = Arena()
+        alloc = IntervalAllocator()
+        alloc.request("g0", (6,), np.float64, birth=0, death=1)
+        alloc.request("g1", (7,), np.float64, birth=2, death=3)
+        out = alloc.assign(arena)
+        assert out["g0"] is not out["g1"]
+
+    def test_extend_blocks_premature_reuse(self):
+        arena = Arena()
+        alloc = IntervalAllocator()
+        alloc.request("g0", (6,), np.float64, birth=0, death=1)
+        alloc.extend("g0", 3)  # an adopted view keeps it alive longer
+        alloc.request("g1", (6,), np.float64, birth=2, death=4)
+        out = alloc.assign(arena)
+        assert out["g0"] is not out["g1"]
+
+    def test_extend_unknown_request_raises(self):
+        alloc = IntervalAllocator()
+        with pytest.raises(KeyError):
+            alloc.extend("missing", 5)
+
+    def test_backwards_lifetime_rejected(self):
+        alloc = IntervalAllocator()
+        with pytest.raises(ValueError):
+            alloc.request("g0", (6,), np.float64, birth=5, death=2)
+
+    def test_chain_packs_to_graph_width(self):
+        """Ten sequential gradients with disjoint lifetimes need exactly
+        one physical buffer -- footprint tracks width, not node count."""
+        arena = Arena()
+        alloc = IntervalAllocator()
+        for i in range(10):
+            alloc.request(f"g{i}", (16,), np.float64, birth=2 * i, death=2 * i + 1)
+        out = alloc.assign(arena)
+        assert arena.stats.allocations == 1
+        bufs = {id(b) for b in out.values()}
+        assert len(bufs) == 1
