@@ -1,6 +1,6 @@
 # Convenience targets for the DCMT reproduction.
 
-.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest verify-lifecycle verify-fleet verify-plan
+.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest verify-lifecycle verify-fleet verify-plan verify-stream
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,7 +21,7 @@ lint:
 # The CI gate: lint, the robustness, ingest, lifecycle, fleet, and
 # plan lanes, then the full tier-1 suite from a clean checkout --
 # every PR runs all of it.
-verify: lint verify-robustness verify-ingest verify-lifecycle verify-fleet verify-plan
+verify: lint verify-robustness verify-ingest verify-lifecycle verify-fleet verify-plan verify-stream
 	PYTHONPATH=src python -m pytest -x -q tests/
 
 # Every test tagged `robustness`: degenerate-batch hardening plus the
@@ -55,6 +55,12 @@ verify-fleet:
 # shape-signature fallback policy.
 verify-plan:
 	PYTHONPATH=src pytest -m plan tests/
+
+# Every test tagged `stream`: the out-of-core data path (chunked CSV
+# source bounded-memory invariant, streaming-vs-in-memory parity,
+# mid-epoch resume, streamed metrics, delayed-feedback correction).
+verify-stream:
+	PYTHONPATH=src pytest -m stream tests/
 
 # Throughput-only benches (dense/sparse training + inference); writes
 # BENCH_throughput.json at the repo root with measured rows/s, the

@@ -1,0 +1,149 @@
+"""Streaming out-of-core training plus delayed conversion feedback.
+
+Two production realities the in-memory protocol hides, in one tour:
+
+1. the exposure log does not fit in RAM -- a ``ChunkedCSVSource``
+   trains DCMT straight off a CSV with ~2 chunks resident, and the
+   run survives a mid-epoch kill bit-exactly;
+2. conversions arrive late -- retraining on the censored log makes
+   fake negatives out of slow conversions, and the inverse-maturation
+   importance correction buys the AUC back::
+
+    python examples/streaming_delayed_feedback.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.dcmt import DCMT
+from repro.data.loaders import export_csv_dataset
+from repro.data.stream import ChunkedCSVSource
+from repro.data.synthetic import ScenarioConfig, SyntheticScenario
+from repro.models.base import ModelConfig
+from repro.simulation.feedback import (
+    DelayedFeedbackConfig,
+    DelayedFeedbackExperiment,
+)
+from repro.training import TrainConfig, Trainer, evaluate_model_streaming
+
+MODEL_CONFIG = ModelConfig(embedding_dim=8, hidden_sizes=(32, 16), seed=0)
+TRAIN_CONFIG = TrainConfig(epochs=3, batch_size=512, learning_rate=0.05, seed=0)
+
+
+def streaming_tour(workdir: Path) -> None:
+    print("=" * 64)
+    print("Part 1: training on a log bigger than the chunk budget")
+    print("=" * 64)
+    scenario = SyntheticScenario(
+        ScenarioConfig(n_users=60, n_items=80, n_train=12_000, n_test=2_000, seed=3)
+    )
+    train, test = scenario.generate()
+    csv_path = export_csv_dataset(train, workdir / "exposures.csv")
+
+    source = ChunkedCSVSource(csv_path, chunk_rows=1_000)
+    print(
+        f"metadata pass: {len(source)} rows in "
+        f"{len(source._plan.sizes)} chunks of <= {source.chunk_rows}"
+    )
+
+    model = DCMT(source.schema, MODEL_CONFIG)
+    Trainer(model, TRAIN_CONFIG).fit(source)
+    gauge = source.gauge
+    print(
+        f"trained {TRAIN_CONFIG.epochs} epochs; chunk-resident peak: "
+        f"{gauge.peak_resident_chunks} chunks / "
+        f"{gauge.peak_resident_bytes / 1e6:.2f} MB "
+        f"({gauge.rows_materialized} rows materialised in total)"
+    )
+
+    # The test split streams through the same vocabulary and dense
+    # statistics (frozen), the leakage-free split protocol.
+    test_source = ChunkedCSVSource(
+        export_csv_dataset(test, workdir / "test.csv"),
+        chunk_rows=1_000,
+        vocabularies=source.vocabularies,
+        freeze_vocabulary=True,
+        dense_stats=source.dense_stats,
+    )
+    result = evaluate_model_streaming(model, test_source)
+    print(
+        f"streamed evaluation: ctr_auc={result.ctr_auc:.4f} "
+        f"cvr_auc_o={result.cvr_auc_o:.4f} over {result.n_rows} rows"
+    )
+
+
+def delayed_feedback_tour() -> None:
+    print()
+    print("=" * 64)
+    print("Part 2: delayed conversions and the importance correction")
+    print("=" * 64)
+    scenario = SyntheticScenario(
+        ScenarioConfig(
+            n_users=60,
+            n_items=80,
+            n_train=6_000,
+            n_test=1_500,
+            seed=5,
+            target_ctr=0.35,
+            target_cvr_given_click=0.30,
+            conversion_delay_mean_hours=36.0,
+            conversion_delay_item_spread=1.2,
+            log_span_hours=72.0,
+        )
+    )
+    log, test = scenario.generate()
+    matured = np.isfinite(np.asarray(log.conversion_times, dtype=float))
+    print(
+        f"log: {len(log)} exposures, {int(log.conversions.sum())} eventual "
+        f"conversions ({int(matured.sum())} carry attribution timestamps)"
+    )
+    for now in (18.0, 36.0):
+        view = log.censored_as_of(now)
+        print(
+            f"  as of t={now:>4.0f}h the log shows "
+            f"{int(view.conversions.sum())} conversions -- the rest look "
+            f"like negatives"
+        )
+
+    def factory():
+        return DCMT(scenario.schema, ModelConfig(seed=3), variant="full")
+
+    print()
+    rows = []
+    for correction in ("none", "importance"):
+        experiment = DelayedFeedbackExperiment(
+            scenario,
+            factory,
+            TRAIN_CONFIG,
+            DelayedFeedbackConfig(
+                rounds=2, round_interval_hours=18.0, correction=correction
+            ),
+        )
+        for metrics in experiment.run(log, test):
+            rows.append((correction, metrics))
+
+    print(f"{'correction':<12} {'round':>5} {'observed rows':>13} {'CVR AUC (do)':>13}")
+    for correction, metrics in rows:
+        print(
+            f"{correction:<12} {metrics.round_index:>5} "
+            f"{metrics.training_rows:>13} {metrics.cvr_auc_do:>13.4f}"
+        )
+    print(
+        "\nReading: the 'none' rows are the censored-naive baseline -- "
+        "slow-converting items look like fake negatives and entire-space "
+        "AUC suffers. The 'importance' rows upweight each observed "
+        "conversion by 1/P(delay <= elapsed), standing in for its "
+        "still-censored siblings."
+    )
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        streaming_tour(Path(tmp))
+    delayed_feedback_tour()
+
+
+if __name__ == "__main__":
+    main()

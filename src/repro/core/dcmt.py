@@ -161,6 +161,7 @@ class DCMT(MultiTaskModel):
                 propensity,
                 floor=self.config.propensity_floor,
                 use_snips=self.use_snips,
+                sample_weights=batch.weights,
             )
         # "full" uses propensity weights, "cf" does not.
         lambda1 = 0.0 if self.constraint == "hard" else self.lambda1
@@ -182,15 +183,29 @@ class DCMT(MultiTaskModel):
             use_propensity=(self.variant == "full"),
             counterfactual_labels=cf_labels,
             counterfactual_weight_scale=cf_scale,
+            sample_weights=batch.weights,
         )
 
     def loss(self, batch: Batch) -> Tensor:
         outputs = self.forward_tensors(batch)
         ctr_loss = functional.binary_cross_entropy(outputs["ctr"], batch.clicks)
         cvr_loss = self.cvr_task_loss(outputs, batch)
-        ctcvr_loss = functional.binary_cross_entropy(
-            outputs["ctcvr"], batch.conversions
-        )
+        if batch.weights is None:
+            ctcvr_loss = functional.binary_cross_entropy(
+                outputs["ctcvr"], batch.conversions
+            )
+        else:
+            # Per-row corrections (delayed-feedback importance weights)
+            # apply to the conversion-label terms; the CTR term stays
+            # unweighted because clicks are observed instantly.
+            errors = functional.binary_cross_entropy(
+                outputs["ctcvr"], batch.conversions, reduction="none"
+            )
+            ctcvr_loss = functional.weighted_mean(
+                errors,
+                np.asarray(batch.weights, dtype=float),
+                denominator=float(batch.size),
+            )
         return (
             ctr_loss
             + self.config.cvr_weight * cvr_loss

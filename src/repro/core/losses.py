@@ -118,7 +118,10 @@ def imputation_regression_loss(
 
 
 def snips_weights(
-    clicks: np.ndarray, propensity: np.ndarray, floor: float = 0.03
+    clicks: np.ndarray,
+    propensity: np.ndarray,
+    floor: float = 0.03,
+    sample_weights: Optional[np.ndarray] = None,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Self-normalised inverse propensity weights (Eq. (13)).
 
@@ -131,11 +134,20 @@ def snips_weights(
 
     Each group sums to exactly 1 (the SNIPS normalisation), which
     removes the propensity-scale variance of plain IPW.
+
+    ``sample_weights`` (optional, detached) multiply the *raw* weights
+    before self-normalisation -- this is where per-row corrections such
+    as the delayed-feedback importance weights compose with the causal
+    weighting.  ``None`` is bit-exact with the unweighted path.
     """
     o = np.asarray(clicks, dtype=float)
     p = clip_propensity(propensity, floor)
     raw_f = o / p
     raw_cf = (1.0 - o) / (1.0 - p)
+    if sample_weights is not None:
+        w = np.asarray(sample_weights, dtype=float)
+        raw_f = raw_f * w
+        raw_cf = raw_cf * w
     sum_f = raw_f.sum()
     sum_cf = raw_cf.sum()
     factual = raw_f / sum_f if sum_f > 0 else raw_f
@@ -150,6 +162,7 @@ def entire_space_ipw_loss(
     propensity: np.ndarray,
     floor: float = 0.03,
     use_snips: bool = True,
+    sample_weights: Optional[np.ndarray] = None,
 ) -> Tensor:
     """Eq. (7): the naive entire-space propensity-debiased loss (DCMT_PD).
 
@@ -157,16 +170,24 @@ def entire_space_ipw_loss(
     ``1/o_hat`` on clicked rows and ``1/(1-o_hat)`` on non-clicked rows,
     using the *observed* labels -- which are all 0 in ``N``, i.e. the
     fake-negative problem the counterfactual mechanism then fixes.
+
+    ``sample_weights`` compose per-row corrections (delayed-feedback
+    importance weights) into the causal weights; ``None`` is bit-exact
+    with the unweighted path.
     """
     errors = functional.binary_cross_entropy(cvr, conversions, reduction="none")
     if use_snips:
-        w_f, w_cf = snips_weights(clicks, propensity, floor)
+        w_f, w_cf = snips_weights(
+            clicks, propensity, floor, sample_weights=sample_weights
+        )
         weights = w_f + w_cf
         return functional.weighted_mean(errors, weights, denominator=2.0)
     o = np.asarray(clicks, dtype=float)
     weights = ipw_weights(o, propensity, floor) + counterfactual_ipw_weights(
         o, propensity, floor
     )
+    if sample_weights is not None:
+        weights = weights * np.asarray(sample_weights, dtype=float)
     return functional.weighted_mean(errors, weights, denominator=float(len(o)))
 
 
@@ -187,6 +208,7 @@ def dcmt_cvr_loss(
     use_propensity: bool = True,
     counterfactual_labels: np.ndarray = None,
     counterfactual_weight_scale: np.ndarray = None,
+    sample_weights: Optional[np.ndarray] = None,
 ) -> Tensor:
     """The full DCMT CVR loss (Eq. (9) with the Eq. (13) weights).
 
@@ -205,6 +227,11 @@ def dcmt_cvr_loss(
     override the mirror labels and per-sample weights of term 2 --
     the hook used by :mod:`repro.core.strategies` (the paper's
     future-work study of alternative counterfactual strategies).
+
+    ``sample_weights`` multiply the per-row weights of both spaces
+    (before SNIPS self-normalisation where applicable) -- the
+    delayed-feedback importance-correction hook.  ``None`` is
+    bit-exact with the unweighted path.
     """
     o = np.asarray(clicks, dtype=float)
     n = float(len(o))
@@ -222,9 +249,14 @@ def dcmt_cvr_loss(
         else np.asarray(counterfactual_weight_scale, dtype=float)
     )
 
+    sw = (
+        None
+        if sample_weights is None
+        else np.asarray(sample_weights, dtype=float)
+    )
     if use_propensity:
         if use_snips:
-            w_f, w_cf = snips_weights(o, propensity, floor)
+            w_f, w_cf = snips_weights(o, propensity, floor, sample_weights=sw)
             factual_term = functional.weighted_mean(
                 factual_errors, w_f, denominator=1.0
             )
@@ -232,22 +264,27 @@ def dcmt_cvr_loss(
                 counterfactual_errors, w_cf * scale, denominator=1.0
             )
         else:
+            w_f = ipw_weights(o, propensity, floor)
+            w_cf = counterfactual_ipw_weights(o, propensity, floor)
+            if sw is not None:
+                w_f = w_f * sw
+                w_cf = w_cf * sw
             factual_term = functional.weighted_mean(
-                factual_errors, ipw_weights(o, propensity, floor), denominator=n
+                factual_errors, w_f, denominator=n
             )
             counterfactual_term = functional.weighted_mean(
-                counterfactual_errors,
-                scale * counterfactual_ipw_weights(o, propensity, floor),
-                denominator=n,
+                counterfactual_errors, scale * w_cf, denominator=n
             )
     else:
-        n_clicked = max(o.sum(), 1.0)
-        n_unclicked = max((1.0 - o).sum(), 1.0)
+        w_f = o if sw is None else o * sw
+        w_cf = (1.0 - o) if sw is None else (1.0 - o) * sw
+        n_clicked = max(w_f.sum(), 1.0)
+        n_unclicked = max(w_cf.sum(), 1.0)
         factual_term = functional.weighted_mean(
-            factual_errors, o, denominator=n_clicked
+            factual_errors, w_f, denominator=n_clicked
         )
         counterfactual_term = functional.weighted_mean(
-            counterfactual_errors, scale * (1.0 - o), denominator=n_unclicked
+            counterfactual_errors, scale * w_cf, denominator=n_unclicked
         )
 
     loss = factual_term + counterfactual_term

@@ -27,6 +27,14 @@ from repro.data.scenarios import (
     scenario_config,
 )
 from repro.data.batching import batch_iterator
+from repro.data.stream import (
+    ChunkedCSVSource,
+    ChunkMemoryGauge,
+    DataSource,
+    InMemorySource,
+    ReplaySource,
+    as_source,
+)
 from repro.data.stats import DatasetStatistics, dataset_statistics
 from repro.data.ingest import (
     IngestBudgetError,
@@ -57,6 +65,12 @@ __all__ = [
     "scenario_config",
     "load_scenario",
     "batch_iterator",
+    "DataSource",
+    "InMemorySource",
+    "ChunkedCSVSource",
+    "ChunkMemoryGauge",
+    "ReplaySource",
+    "as_source",
     "DatasetStatistics",
     "dataset_statistics",
 ]

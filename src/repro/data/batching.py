@@ -9,12 +9,32 @@ import numpy as np
 from repro.data.dataset import Batch, InteractionDataset
 
 
+def n_batches(n_rows: int, batch_size: int, drop_last: bool) -> int:
+    """Number of batches one epoch over ``n_rows`` rows yields."""
+    if drop_last:
+        return n_rows // batch_size
+    return (n_rows + batch_size - 1) // batch_size
+
+
+def slice_batch(dataset: InteractionDataset, idx: np.ndarray) -> Batch:
+    """Materialise the rows ``idx`` of ``dataset`` as a :class:`Batch`."""
+    return Batch(
+        sparse={k: v[idx] for k, v in dataset.sparse.items()},
+        dense={k: v[idx] for k, v in dataset.dense.items()},
+        clicks=dataset.clicks[idx],
+        conversions=dataset.conversions[idx],
+        actions=None if dataset.actions is None else dataset.actions[idx],
+        weights=None if dataset.weights is None else dataset.weights[idx],
+    )
+
+
 def batch_iterator(
     dataset: InteractionDataset,
     batch_size: int,
     rng: Optional[np.random.Generator] = None,
     shuffle: bool = True,
     drop_last: bool = False,
+    start_batch: int = 0,
 ) -> Iterator[Batch]:
     """Yield mini-batches over ``dataset``.
 
@@ -30,25 +50,53 @@ def batch_iterator(
         Randomise row order each pass.
     drop_last:
         Drop the final short batch (stabilises batch statistics such as
-        the SNIPS normalisers).
+        the SNIPS normalisers).  Raises :class:`ValueError` when the
+        combination would silently yield *zero* batches
+        (``batch_size > len(dataset)``).
+    start_batch:
+        Skip the first ``start_batch`` batches of the epoch without
+        yielding them (checkpoint resume).  The permutation is still
+        drawn up front, so the batches that *are* yielded are
+        bit-identical to positions ``start_batch..`` of an
+        uninterrupted pass with the same ``rng`` state.
+
+    Validation happens eagerly (at call time, not first ``next()``),
+    so misconfiguration surfaces where the iterator is built.
     """
     if batch_size < 1:
         raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if start_batch < 0:
+        raise ValueError(f"start_batch must be >= 0, got {start_batch}")
+    n = len(dataset)
+    if drop_last and batch_size > n:
+        raise ValueError(
+            f"drop_last=True with batch_size={batch_size} > "
+            f"len(dataset)={n} would yield zero batches; lower the batch "
+            f"size or set drop_last=False"
+        )
+    if shuffle and rng is None:
+        raise ValueError("shuffle=True requires an rng")
+    return _iterate(dataset, batch_size, rng, shuffle, drop_last, start_batch)
+
+
+def _iterate(
+    dataset: InteractionDataset,
+    batch_size: int,
+    rng: Optional[np.random.Generator],
+    shuffle: bool,
+    drop_last: bool,
+    start_batch: int,
+) -> Iterator[Batch]:
     n = len(dataset)
     if shuffle:
-        if rng is None:
-            raise ValueError("shuffle=True requires an rng")
+        assert rng is not None
         order = rng.permutation(n)
     else:
         order = np.arange(n)
-    for start in range(0, n, batch_size):
+    for batch_index, start in enumerate(range(0, n, batch_size)):
         idx = order[start : start + batch_size]
         if drop_last and len(idx) < batch_size:
             break
-        yield Batch(
-            sparse={k: v[idx] for k, v in dataset.sparse.items()},
-            dense={k: v[idx] for k, v in dataset.dense.items()},
-            clicks=dataset.clicks[idx],
-            conversions=dataset.conversions[idx],
-            actions=None if dataset.actions is None else dataset.actions[idx],
-        )
+        if batch_index < start_batch:
+            continue
+        yield slice_batch(dataset, idx)

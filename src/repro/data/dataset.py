@@ -29,7 +29,11 @@ class Batch:
     ``conversions`` are the *observed* labels (0 outside the click
     space).  ``actions`` are optional post-click micro-behaviour labels
     (cart/favourite; 0 outside the click space) used by ESM2-style
-    behaviour-decomposition models.
+    behaviour-decomposition models.  ``weights`` are optional per-row
+    importance weights (e.g. the delayed-feedback correction of
+    :mod:`repro.simulation.feedback`); weight-aware losses (DCMT and
+    the click-space BCE of :class:`~repro.models.base.MultiTaskModel`)
+    consume them, other models ignore them.
     """
 
     sparse: Dict[str, np.ndarray]
@@ -37,6 +41,7 @@ class Batch:
     clicks: np.ndarray
     conversions: np.ndarray
     actions: Optional[np.ndarray] = None
+    weights: Optional[np.ndarray] = None
 
     @property
     def size(self) -> int:
@@ -81,6 +86,17 @@ class InteractionDataset:
     #: observed only inside the click space -- the intermediate node of
     #: ESM2's "click -> action -> buy" decomposition.
     actions: Optional[np.ndarray] = None
+    #: Optional per-row event timestamps (hours on the log's clock): the
+    #: moment of exposure (clicks are treated as instantaneous) and the
+    #: moment the conversion was attributed (NaN where no conversion
+    #: ever happens).  Emitted by delay-enabled synthetic scenarios;
+    #: they drive :meth:`censored_as_of` and the time-ordered
+    #: :class:`~repro.data.stream.ReplaySource`.
+    exposure_times: Optional[np.ndarray] = None
+    conversion_times: Optional[np.ndarray] = None
+    #: Optional per-row training weights (delayed-feedback importance
+    #: correction); sliced into :attr:`Batch.weights` by the batchers.
+    weights: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         n = len(self.clicks)
@@ -91,6 +107,21 @@ class InteractionDataset:
                 )
         if len(self.conversions) != n:
             raise ValueError("conversions length mismatch")
+        for name, column in (
+            ("exposure_times", self.exposure_times),
+            ("conversion_times", self.conversion_times),
+            ("weights", self.weights),
+        ):
+            if column is not None and len(column) != n:
+                raise ValueError(f"{name} length mismatch")
+        if self.conversion_times is not None:
+            with np.errstate(invalid="ignore"):
+                timed = np.isfinite(np.asarray(self.conversion_times, dtype=float))
+            if np.any(timed & (self.conversions == 0)):
+                raise ValueError(
+                    "conversion_times recorded on rows without an observed "
+                    "conversion"
+                )
         if np.any((self.conversions == 1) & (self.clicks == 0)):
             raise ValueError(
                 "observed conversions outside the click space violate the "
@@ -155,6 +186,10 @@ class InteractionDataset:
     def subset(self, indices: np.ndarray) -> "InteractionDataset":
         """Row-subset view (copies columns)."""
         idx = np.asarray(indices)
+
+        def take(column):
+            return None if column is None else column[idx]
+
         return InteractionDataset(
             name=self.name,
             schema=self.schema,
@@ -162,14 +197,53 @@ class InteractionDataset:
             dense={k: v[idx] for k, v in self.dense.items()},
             clicks=self.clicks[idx],
             conversions=self.conversions[idx],
-            oracle_ctr=None if self.oracle_ctr is None else self.oracle_ctr[idx],
-            oracle_cvr=None if self.oracle_cvr is None else self.oracle_cvr[idx],
-            oracle_conversion=(
-                None
-                if self.oracle_conversion is None
-                else self.oracle_conversion[idx]
+            oracle_ctr=take(self.oracle_ctr),
+            oracle_cvr=take(self.oracle_cvr),
+            oracle_conversion=take(self.oracle_conversion),
+            actions=take(self.actions),
+            exposure_times=take(self.exposure_times),
+            conversion_times=take(self.conversion_times),
+            weights=take(self.weights),
+        )
+
+    def censored_as_of(self, now: float) -> "InteractionDataset":
+        """The log as an observer at time ``now`` would see it.
+
+        Conversions whose attribution timestamp lies after ``now`` have
+        not arrived yet: their labels flip to 0 (the *delayed-feedback*
+        fake negatives) and their timestamps are masked out.  Click
+        labels and features are untouched -- clicks are observed
+        instantly.  ``oracle_conversion`` is dropped from the view
+        because the censored observed labels intentionally disagree
+        with it inside the click space; ``oracle_ctr``/``oracle_cvr``
+        (rates, not labels) are kept for diagnostics.
+
+        Requires conversion/exposure timestamps (delay-enabled
+        generators emit them).
+        """
+        if self.conversion_times is None or self.exposure_times is None:
+            raise ValueError(
+                "censored_as_of needs exposure_times and conversion_times; "
+                "generate the dataset with conversion delays enabled"
+            )
+        with np.errstate(invalid="ignore"):
+            matured = np.asarray(self.conversion_times, dtype=float) <= now
+        observed = (self.conversions == 1) & matured
+        return InteractionDataset(
+            name=f"{self.name}@{now:g}h",
+            schema=self.schema,
+            sparse=dict(self.sparse),
+            dense=dict(self.dense),
+            clicks=self.clicks,
+            conversions=observed.astype(np.int64),
+            oracle_ctr=self.oracle_ctr,
+            oracle_cvr=self.oracle_cvr,
+            oracle_conversion=None,
+            actions=self.actions,
+            exposure_times=self.exposure_times,
+            conversion_times=np.where(
+                observed, self.conversion_times, np.nan
             ),
-            actions=None if self.actions is None else self.actions[idx],
         )
 
     def click_space(self) -> "InteractionDataset":
@@ -188,6 +262,7 @@ class InteractionDataset:
             clicks=self.clicks,
             conversions=self.conversions,
             actions=self.actions,
+            weights=self.weights,
         )
 
     def validate(self) -> None:

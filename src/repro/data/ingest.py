@@ -40,11 +40,11 @@ from repro.data.dataset import InteractionDataset
 from repro.data.loaders import (
     ColumnSpec,
     VocabularyMaps,
-    _guess_group,
     _read_rows,
+    build_csv_schema,
     hash_feature,
+    resolve_columns,
 )
-from repro.data.schema import DenseFeature, FeatureSchema, SparseFeature
 from repro.utils.logging import get_logger, log_event
 
 logger = get_logger("data.ingest")
@@ -141,30 +141,47 @@ class QuarantinedRow:
 
 
 class QuarantineStore:
-    """Holds every quarantined row with per-reason counts."""
+    """Holds quarantined rows with per-reason counts.
 
-    def __init__(self) -> None:
+    ``max_rows`` bounds how many :class:`QuarantinedRow` records are
+    *retained* (streaming loads over arbitrarily dirty files must not
+    accumulate O(corrupt) memory); counts always cover every quarantined
+    row regardless of retention.  ``None`` retains everything (the
+    materialising loader's historical behaviour).
+    """
+
+    def __init__(self, max_rows: Optional[int] = None) -> None:
+        if max_rows is not None and max_rows < 0:
+            raise ValueError("max_rows must be >= 0")
         self.rows: List[QuarantinedRow] = []
         self.counts: Dict[str, int] = {}
+        self.max_rows = max_rows
+        self._n_dropped = 0
+        self._n_repaired = 0
 
     def add(
         self, line: int, reasons: Sequence[str], action: str, raw: Sequence[str]
     ) -> None:
         reasons = tuple(dict.fromkeys(reasons))
-        self.rows.append(QuarantinedRow(line, reasons, action, tuple(raw)))
+        if action == "dropped":
+            self._n_dropped += 1
+        else:
+            self._n_repaired += 1
+        if self.max_rows is None or len(self.rows) < self.max_rows:
+            self.rows.append(QuarantinedRow(line, reasons, action, tuple(raw)))
         for reason in reasons:
             self.counts[reason] = self.counts.get(reason, 0) + 1
 
     @property
     def n_dropped(self) -> int:
-        return sum(1 for r in self.rows if r.action == "dropped")
+        return self._n_dropped
 
     @property
     def n_repaired(self) -> int:
-        return sum(1 for r in self.rows if r.action == "repaired")
+        return self._n_repaired
 
     def examples(self, reason: str, k: int) -> List[QuarantinedRow]:
-        """First ``k`` quarantined rows exhibiting ``reason``."""
+        """First ``k`` retained quarantined rows exhibiting ``reason``."""
         out = [r for r in self.rows if reason in r.reasons]
         return out[:k]
 
@@ -254,6 +271,80 @@ def _parse_dense(raw: str) -> float:
         return float("nan")
 
 
+def classify_row(
+    row: Sequence[str],
+    line: int,
+    n_header: int,
+    column_index: Dict[str, int],
+    spec: ColumnSpec,
+    policy: IngestPolicy,
+    dense_columns: Sequence[str],
+    sparse_columns: Sequence[str],
+    vocabularies: VocabularyMaps,
+    freeze_vocabulary: bool,
+    store: QuarantineStore,
+) -> Optional[Tuple[int, int, Dict[str, float]]]:
+    """Classify/repair one data row (pass-1 logic, per row).
+
+    Returns ``(click, conversion, dense_values)`` for rows that survive
+    (quarantining repaired ones), or ``None`` for dropped rows (which
+    are quarantined here too).  Shared by the materialising quarantine
+    loader and the chunked streaming source so both paths keep/repair
+    *exactly* the same rows.
+    """
+    if len(row) != n_header:
+        store.add(line, (MALFORMED_ROW,), "dropped", row)
+        return None
+    reasons: List[str] = []
+
+    click_raw = row[column_index[spec.click_column]]
+    conv_raw = row[column_index[spec.conversion_column]]
+    if click_raw not in ("0", "1") or conv_raw not in ("0", "1"):
+        store.add(line, (BAD_LABEL,), "dropped", row)
+        return None
+    click, conversion = int(click_raw), int(conv_raw)
+    if conversion == 1 and click == 0:
+        if policy.on_label_inconsistency == "drop":
+            store.add(line, (LABEL_INCONSISTENCY,), "dropped", row)
+            return None
+        conversion = 0  # trust the click label (repair)
+        reasons.append(LABEL_INCONSISTENCY)
+
+    dense_values: Dict[str, float] = {}
+    for c in dense_columns:
+        value = _parse_dense(row[column_index[c]])
+        if math.isfinite(value):
+            dense_values[c] = value
+            continue
+        reasons.append(BAD_DENSE)
+        if policy.on_bad_dense == "drop":
+            store.add(line, reasons, "dropped", row)
+            return None
+        if policy.on_bad_dense == "clip" and math.isinf(value):
+            dense_values[c] = math.copysign(policy.dense_clip, value)
+        else:
+            dense_values[c] = policy.dense_default
+
+    if freeze_vocabulary:
+        oov = [
+            c
+            for c in sparse_columns
+            if c not in spec.hash_buckets
+            and row[column_index[c]] not in vocabularies.maps.get(c, {})
+        ]
+        if oov:
+            reasons.append(OOV_ID)
+            if policy.on_oov_id == "drop":
+                store.add(line, reasons, "dropped", row)
+                return None
+            # "impute": the indexing pass routes unseen ids to the
+            # shared OOV bucket (id 0) -- counted, not silent.
+
+    if reasons:
+        store.add(line, reasons, "repaired", row)
+    return click, conversion, dense_values
+
+
 def load_csv_dataset_quarantined(
     path: "Path | str",
     spec: Optional[ColumnSpec] = None,
@@ -278,81 +369,31 @@ def load_csv_dataset_quarantined(
     policy = policy or IngestPolicy()
     vocabularies = vocabularies or VocabularyMaps()
     header, rows = _read_rows(path)
-
-    for required in (spec.click_column, spec.conversion_column):
-        if required not in header:
-            raise ValueError(f"{path}: missing required column {required!r}")
-    label_columns = {spec.click_column, spec.conversion_column}
-    dense_columns = [c for c in spec.dense_features if c in header]
-    missing_dense = set(spec.dense_features) - set(header)
-    if missing_dense:
-        raise ValueError(f"{path}: missing dense columns {sorted(missing_dense)}")
-    sparse_columns = [
-        c for c in header if c not in label_columns and c not in dense_columns
-    ]
-    column_index = {c: i for i, c in enumerate(header)}
+    dense_columns, sparse_columns, column_index = resolve_columns(
+        path, header, spec
+    )
 
     # -- pass 1: classify and repair, *before* any vocabulary indexing,
     # so dropped rows never claim ids.
     store = QuarantineStore()
     kept: List[Tuple[int, int, Dict[str, float], List[str]]] = []
     for i, row in enumerate(rows):
-        line = i + 2
-        if len(row) != len(header):
-            store.add(line, (MALFORMED_ROW,), "dropped", row)
-            continue
-        reasons: List[str] = []
-
-        click_raw = row[column_index[spec.click_column]]
-        conv_raw = row[column_index[spec.conversion_column]]
-        if click_raw not in ("0", "1") or conv_raw not in ("0", "1"):
-            store.add(line, (BAD_LABEL,), "dropped", row)
-            continue
-        click, conversion = int(click_raw), int(conv_raw)
-        if conversion == 1 and click == 0:
-            if policy.on_label_inconsistency == "drop":
-                store.add(line, (LABEL_INCONSISTENCY,), "dropped", row)
-                continue
-            conversion = 0  # trust the click label (repair)
-            reasons.append(LABEL_INCONSISTENCY)
-
-        dense_values: Dict[str, float] = {}
-        drop_row = False
-        for c in dense_columns:
-            value = _parse_dense(row[column_index[c]])
-            if math.isfinite(value):
-                dense_values[c] = value
-                continue
-            reasons.append(BAD_DENSE)
-            if policy.on_bad_dense == "drop":
-                drop_row = True
-                break
-            if policy.on_bad_dense == "clip" and math.isinf(value):
-                dense_values[c] = math.copysign(policy.dense_clip, value)
-            else:
-                dense_values[c] = policy.dense_default
-        if drop_row:
-            store.add(line, reasons, "dropped", row)
-            continue
-
-        if freeze_vocabulary:
-            oov = [
-                c
-                for c in sparse_columns
-                if c not in spec.hash_buckets
-                and row[column_index[c]] not in vocabularies.maps.get(c, {})
-            ]
-            if oov:
-                reasons.append(OOV_ID)
-                if policy.on_oov_id == "drop":
-                    store.add(line, reasons, "dropped", row)
-                    continue
-                # "impute": the indexing pass below routes unseen ids to
-                # the shared OOV bucket (id 0) -- counted, not silent.
-
-        if reasons:
-            store.add(line, reasons, "repaired", row)
-        kept.append((click, conversion, dense_values, row))
+        verdict = classify_row(
+            row,
+            i + 2,
+            len(header),
+            column_index,
+            spec,
+            policy,
+            dense_columns,
+            sparse_columns,
+            vocabularies,
+            freeze_vocabulary,
+            store,
+        )
+        if verdict is not None:
+            click, conversion, dense_values = verdict
+            kept.append((click, conversion, dense_values, row))
 
     report = IngestReport(
         path=str(path),
@@ -414,18 +455,7 @@ def load_csv_dataset_quarantined(
         mean, std = dense_stats[c]
         dense[c] = (values - mean) / std
 
-    schema = FeatureSchema(
-        sparse=[
-            SparseFeature(
-                c,
-                spec.hash_buckets.get(c, vocabularies.vocab_size(c)),
-                group=_guess_group(c, spec),
-                kind="wide" if c in spec.wide_features else "deep",
-            )
-            for c in sparse_columns
-        ],
-        dense=[DenseFeature(c, dim=1) for c in dense_columns],
-    )
+    schema = build_csv_schema(spec, sparse_columns, dense_columns, vocabularies)
     dataset = InteractionDataset(
         name=name or path.stem,
         schema=schema,

@@ -23,7 +23,7 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -89,27 +89,105 @@ def hash_feature(raw: str, n_buckets: int) -> int:
     return value % n_buckets
 
 
-def _read_rows(path: Path) -> Tuple[List[str], List[List[str]]]:
+def _validate_header(path: Path, header: List[str]) -> None:
+    seen: Dict[str, int] = {}
+    for position, column in enumerate(header):
+        if not column:
+            raise ValueError(
+                f"{path}: header has an empty column name at position {position}"
+            )
+        if column in seen:
+            raise ValueError(
+                f"{path}: duplicate column {column!r} "
+                f"(positions {seen[column]} and {position})"
+            )
+        seen[column] = position
+
+
+def read_csv_header(path: "Path | str") -> List[str]:
+    """Read and validate only the header row (streaming loaders)."""
+    path = Path(path)
+    with open(path, newline="") as handle:
+        try:
+            header = next(csv.reader(handle))
+        except StopIteration:
+            raise ValueError(f"{path}: empty file (no header row)") from None
+    _validate_header(path, header)
+    return header
+
+
+def iter_csv_rows(path: "Path | str") -> "Iterator[List[str]]":
+    """Stream the non-empty data rows of ``path`` in file order.
+
+    Validates the header (empty/duplicate column names) before yielding
+    anything.  Row ``i`` of this stream sits on file line ``i + 2`` --
+    the provenance convention every loader error message uses.  This is
+    the bounded-memory primitive under both the materialising
+    :func:`_read_rows` and :class:`repro.data.stream.ChunkedCSVSource`.
+    """
+    path = Path(path)
     with open(path, newline="") as handle:
         reader = csv.reader(handle)
         try:
             header = next(reader)
         except StopIteration:
             raise ValueError(f"{path}: empty file (no header row)") from None
-        seen: Dict[str, int] = {}
-        for position, column in enumerate(header):
-            if not column:
-                raise ValueError(
-                    f"{path}: header has an empty column name at position {position}"
-                )
-            if column in seen:
-                raise ValueError(
-                    f"{path}: duplicate column {column!r} "
-                    f"(positions {seen[column]} and {position})"
-                )
-            seen[column] = position
-        rows = [row for row in reader if row]
+        _validate_header(path, header)
+        for row in reader:
+            if row:
+                yield row
+
+
+def resolve_columns(
+    path: Path, header: List[str], spec: "ColumnSpec"
+) -> Tuple[List[str], List[str], Dict[str, int]]:
+    """Split ``header`` into (dense, sparse) columns under ``spec``.
+
+    Raises on missing label/dense columns; returns
+    ``(dense_columns, sparse_columns, column_index)``.  Shared by the
+    strict loader, the quarantine loader, and the chunked streaming
+    source so all three agree on the schema they derive from one file.
+    """
+    for required in (spec.click_column, spec.conversion_column):
+        if required not in header:
+            raise ValueError(f"{path}: missing required column {required!r}")
+    label_columns = {spec.click_column, spec.conversion_column}
+    dense_columns = [c for c in spec.dense_features if c in header]
+    missing_dense = set(spec.dense_features) - set(header)
+    if missing_dense:
+        raise ValueError(f"{path}: missing dense columns {sorted(missing_dense)}")
+    sparse_columns = [
+        c for c in header if c not in label_columns and c not in dense_columns
+    ]
+    column_index = {c: i for i, c in enumerate(header)}
+    return dense_columns, sparse_columns, column_index
+
+
+def _read_rows(path: Path) -> Tuple[List[str], List[List[str]]]:
+    header = read_csv_header(path)
+    rows = list(iter_csv_rows(path))
     return header, rows
+
+
+def build_csv_schema(
+    spec: "ColumnSpec",
+    sparse_columns: List[str],
+    dense_columns: List[str],
+    vocabularies: "VocabularyMaps",
+) -> FeatureSchema:
+    """Schema for a CSV-derived dataset (shared by every CSV loader)."""
+    return FeatureSchema(
+        sparse=[
+            SparseFeature(
+                c,
+                spec.hash_buckets.get(c, vocabularies.vocab_size(c)),
+                group=_guess_group(c, spec),
+                kind="wide" if c in spec.wide_features else "deep",
+            )
+            for c in sparse_columns
+        ],
+        dense=[DenseFeature(c, dim=1) for c in dense_columns],
+    )
 
 
 def _ragged_row_error(
@@ -160,20 +238,9 @@ def load_csv_dataset(
     spec = spec or ColumnSpec()
     vocabularies = vocabularies or VocabularyMaps()
     header, rows = _read_rows(path)
-
-    for required in (spec.click_column, spec.conversion_column):
-        if required not in header:
-            raise ValueError(f"{path}: missing required column {required!r}")
-    label_columns = {spec.click_column, spec.conversion_column}
-    dense_columns = [c for c in spec.dense_features if c in header]
-    missing_dense = set(spec.dense_features) - set(header)
-    if missing_dense:
-        raise ValueError(f"{path}: missing dense columns {sorted(missing_dense)}")
-    sparse_columns = [
-        c for c in header if c not in label_columns and c not in dense_columns
-    ]
-
-    column_index = {c: i for i, c in enumerate(header)}
+    dense_columns, sparse_columns, column_index = resolve_columns(
+        path, header, spec
+    )
     n = len(rows)
     clicks = np.zeros(n, dtype=np.int64)
     conversions = np.zeros(n, dtype=np.int64)
@@ -229,18 +296,7 @@ def load_csv_dataset(
         mean, std = dense_stats[c]
         dense[c] = (values - mean) / std
 
-    schema = FeatureSchema(
-        sparse=[
-            SparseFeature(
-                c,
-                spec.hash_buckets.get(c, vocabularies.vocab_size(c)),
-                group=_guess_group(c, spec),
-                kind="wide" if c in spec.wide_features else "deep",
-            )
-            for c in sparse_columns
-        ],
-        dense=[DenseFeature(c, dim=1) for c in dense_columns],
-    )
+    schema = build_csv_schema(spec, sparse_columns, dense_columns, vocabularies)
     dataset = InteractionDataset(
         name=name or path.stem,
         schema=schema,

@@ -80,6 +80,25 @@ class ScenarioConfig:
     include_micro_actions: bool = True
     target_action_given_click: float = 0.35
     include_wide_features: bool = True
+    #: Mean conversion delay in hours (0 disables the delayed-feedback
+    #: machinery entirely: no timestamps are emitted and datasets are
+    #: bit-identical to pre-delay builds).  When enabled, every
+    #: converting click draws an exponential attribution delay whose
+    #: scale is *item-dependent* (see ``conversion_delay_item_spread``),
+    #: and :meth:`SyntheticScenario.generate` emits per-row
+    #: ``exposure_times`` / ``conversion_times``.
+    conversion_delay_mean_hours: float = 0.0
+    #: Spread of the per-item log-delay-scale.  Crucially the per-item
+    #: factor is *correlated with the item's conversion base rate*:
+    #: high-CVR items attribute slowly (think considered purchases vs
+    #: impulse buys).  That makes censoring missing-not-at-random in
+    #: feature space -- a naive model trained on the censored view
+    #: learns "slow items convert poorly", which is exactly backwards,
+    #: so the delayed-feedback correction has something real to fix.
+    conversion_delay_item_spread: float = 0.0
+    #: Length of the exposure log's clock in hours; exposures land
+    #: uniformly on ``[0, log_span_hours)``.
+    log_span_hours: float = 72.0
     seed: int = 2023
 
     def __post_init__(self) -> None:
@@ -91,6 +110,17 @@ class ScenarioConfig:
             raise ValueError("bias_strength must be in [0, 1]")
         if min(self.n_users, self.n_items, self.n_train, self.n_test) < 1:
             raise ValueError("population and sample sizes must be positive")
+        if self.conversion_delay_mean_hours < 0:
+            raise ValueError("conversion_delay_mean_hours must be >= 0")
+        if self.conversion_delay_item_spread < 0:
+            raise ValueError("conversion_delay_item_spread must be >= 0")
+        if not self.log_span_hours > 0:
+            raise ValueError("log_span_hours must be > 0")
+
+    @property
+    def has_delays(self) -> bool:
+        """Whether conversion-delay modelling is enabled."""
+        return self.conversion_delay_mean_hours > 0
 
     def with_overrides(self, **kwargs) -> "ScenarioConfig":
         """A copy with some fields replaced."""
@@ -208,6 +238,27 @@ class SyntheticScenario:
         self._bucket_edges: dict = {}
         self._calibrate()
 
+        # Per-item conversion-delay scales (hours), drawn on a separate
+        # RNG stream (seed + 303) so enabling delays never perturbs the
+        # main generator stream -- delay-free datasets stay bit-exact.
+        # The log-scale mixes the item's conversion base rate (dominant:
+        # considered purchases attribute slowly) with independent noise,
+        # recentred so the geometric-mean scale equals the configured
+        # mean.  With delays disabled the scales are all zero.
+        delay_rng = np.random.default_rng(config.seed + 303)
+        noise_z = delay_rng.normal(size=config.n_items)
+        if config.has_delays:
+            base = self.item_conv_base / max(float(self.item_conv_base.std()), 1e-12)
+            log_factor = config.conversion_delay_item_spread * (
+                0.8 * base + 0.6 * noise_z
+            )
+            log_factor -= log_factor.mean()
+            self.item_delay_scale = config.conversion_delay_mean_hours * np.exp(
+                log_factor
+            )
+        else:
+            self.item_delay_scale = np.zeros(config.n_items)
+
         self.schema: FeatureSchema = paper_like_schema(
             n_users=config.n_users,
             n_items=config.n_items,
@@ -322,6 +373,35 @@ class SyntheticScenario:
         return _sigmoid(
             self.conversion_logit(users, items, hidden) + self._cvr_intercept
         )
+
+    # ------------------------------------------------------------------
+    # Delayed conversion feedback (oracle delay model)
+    # ------------------------------------------------------------------
+    def sample_conversion_delays(
+        self, items: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw click->attribution delays (hours), exponential per item."""
+        if not self.config.has_delays:
+            raise ValueError(
+                "conversion delays are disabled "
+                "(conversion_delay_mean_hours == 0)"
+            )
+        return rng.exponential(scale=self.item_delay_scale[items])
+
+    def conversion_delay_cdf(
+        self, items: np.ndarray, elapsed: np.ndarray
+    ) -> np.ndarray:
+        """``P(delay <= elapsed)`` per exposure -- the maturation
+        probability that the importance-weighting delayed-feedback
+        correction divides by (``w = 1 / P(delay <= elapsed)`` on
+        observed positives)."""
+        if not self.config.has_delays:
+            raise ValueError(
+                "conversion delays are disabled "
+                "(conversion_delay_mean_hours == 0)"
+            )
+        elapsed = np.maximum(np.asarray(elapsed, dtype=np.float64), 0.0)
+        return 1.0 - np.exp(-elapsed / self.item_delay_scale[items])
 
     # ------------------------------------------------------------------
     def _sample_exposures(
@@ -463,6 +543,17 @@ class SyntheticScenario:
 
         sparse, dense = self.features_for(users, items, positions, rng)
 
+        # Event timestamps ride a separate RNG stream (seed + 404) so
+        # enabling delays leaves every other column bit-identical.
+        exposure_times = conversion_times = None
+        if cfg.has_delays:
+            time_rng = np.random.default_rng(cfg.seed + 404)
+            exposure_times = time_rng.uniform(0.0, cfg.log_span_hours, size=total)
+            delays = self.sample_conversion_delays(items, time_rng)
+            conversion_times = np.where(
+                observed == 1, exposure_times + delays, np.nan
+            )
+
         def build(slice_: slice) -> InteractionDataset:
             return InteractionDataset(
                 name=cfg.name,
@@ -475,6 +566,12 @@ class SyntheticScenario:
                 oracle_cvr=cvr[slice_],
                 oracle_conversion=potential[slice_],
                 actions=None if actions is None else actions[slice_],
+                exposure_times=(
+                    None if exposure_times is None else exposure_times[slice_]
+                ),
+                conversion_times=(
+                    None if conversion_times is None else conversion_times[slice_]
+                ),
             )
 
         train = build(slice(0, cfg.n_train))

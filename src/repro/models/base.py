@@ -103,10 +103,18 @@ class MultiTaskModel(Module):
     def masked_click_space_bce(
         self, cvr: Tensor, batch: Batch
     ) -> Tensor:
-        """Naive CVR loss: log-loss on clicked samples only (Eq. (2))."""
+        """Naive CVR loss: log-loss on clicked samples only (Eq. (2)).
+
+        When the batch carries per-row ``weights`` (delayed-feedback
+        importance correction), the click-space mean becomes a weighted
+        mean: ``sum(w o e) / sum(w o)``.  ``weights=None`` is bit-exact
+        with the historical unweighted path.
+        """
         from repro.autograd import functional
 
         clicks = batch.clicks.astype(float)
+        if batch.weights is not None:
+            clicks = clicks * np.asarray(batch.weights, dtype=float)
         n_clicked = max(clicks.sum(), 1.0)
         per_sample = functional.binary_cross_entropy(
             cvr, batch.conversions, reduction="none"

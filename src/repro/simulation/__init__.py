@@ -45,6 +45,28 @@ from repro.simulation.ab_test import (
     ABTestResult,
     BucketDay,
 )
+# The feedback-loop experiments are re-exported lazily:
+# repro.lifecycle.canary imports repro.simulation.serving (pulling in
+# this package) while repro.simulation.feedback imports
+# repro.lifecycle.manager -- an eager import here would close that
+# cycle against a half-initialised repro.lifecycle.
+_FEEDBACK_EXPORTS = (
+    "DelayedFeedbackConfig",
+    "DelayedFeedbackExperiment",
+    "FeedbackConfig",
+    "FeedbackLoopExperiment",
+    "RoundMetrics",
+    "delayed_feedback_weights",
+)
+
+
+def __getattr__(name):
+    if name in _FEEDBACK_EXPORTS:
+        from repro.simulation import feedback
+
+        return getattr(feedback, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "AdmissionQueue",
@@ -64,4 +86,10 @@ __all__ = [
     "ABTestConfig",
     "ABTestResult",
     "BucketDay",
+    "DelayedFeedbackConfig",
+    "DelayedFeedbackExperiment",
+    "FeedbackConfig",
+    "FeedbackLoopExperiment",
+    "RoundMetrics",
+    "delayed_feedback_weights",
 ]

@@ -19,7 +19,16 @@ from repro.training.config import TrainConfig
 from repro.training.engine import TrainingEngine, fit_model
 from repro.training.history import TrainingHistory
 from repro.training.trainer import Trainer, default_callbacks
-from repro.training.evaluation import EvaluationResult, evaluate_model
+from repro.training.evaluation import (
+    EvaluationResult,
+    StreamingAUC,
+    StreamingECE,
+    StreamingEvaluationResult,
+    StreamingLogLoss,
+    StreamingMean,
+    evaluate_model,
+    evaluate_model_streaming,
+)
 from repro.training.callbacks import (
     Callback,
     CheckpointCallback,
@@ -49,4 +58,10 @@ __all__ = [
     "ValidationCallback",
     "EvaluationResult",
     "evaluate_model",
+    "StreamingAUC",
+    "StreamingECE",
+    "StreamingEvaluationResult",
+    "StreamingLogLoss",
+    "StreamingMean",
+    "evaluate_model_streaming",
 ]

@@ -61,6 +61,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.data.dataset import Batch, InteractionDataset
+    from repro.data.stream import DataSource
     from repro.models.base import MultiTaskModel
     from repro.optim.optimizer import Optimizer
     from repro.reliability.checkpoint import TrainingSnapshot
@@ -83,7 +84,12 @@ class TrainingContext:
     optimizer: "Optimizer"
     config: "TrainConfig"
     history: "TrainingHistory"
-    train: "InteractionDataset"
+    #: The training data as passed to ``fit`` -- an
+    #: :class:`~repro.data.dataset.InteractionDataset` or a streaming
+    #: :class:`~repro.data.stream.DataSource`.  Callbacks needing a
+    #: probe batch should go through
+    #: :func:`repro.data.stream.as_source` / ``sample_batch``.
+    train: "InteractionDataset | DataSource"
     validation: Optional["InteractionDataset"]
     rng: np.random.Generator
     callbacks: Sequence["Callback"] = ()

@@ -59,6 +59,18 @@ class DriftReferenceCallback(Callback):
         self.reference: Optional[DriftReference] = None
 
     def on_fit_end(self, ctx: TrainingContext) -> None:
+        from repro.data.dataset import InteractionDataset
+
+        if not isinstance(ctx.train, InteractionDataset):
+            # Streaming sources have no random-access rows to sample;
+            # capture a reference from a materialised split instead.
+            log_event(
+                logger,
+                "drift_reference_skipped",
+                reason="streaming_source",
+                source=getattr(ctx.train, "name", type(ctx.train).__name__),
+            )
+            return
         self.reference = DriftReference.capture(
             ctx.model,
             ctx.train,

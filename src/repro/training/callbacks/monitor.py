@@ -10,8 +10,7 @@ debiasing quietly stops working.
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.data.stream import as_source
 from repro.reliability.guards import GuardEvent, warn_on_propensity_collapse
 from repro.training.callbacks.base import Callback, TrainingContext
 
@@ -33,8 +32,9 @@ class PropensityMonitorCallback(Callback):
         floor = getattr(ctx.model.config, "propensity_floor", None)
         if not floor:
             return
-        n = min(len(ctx.train), self.sample)
-        sample = ctx.train.subset(np.arange(n)).full_batch()
+        # ``sample_batch`` works for datasets and streaming sources
+        # alike (a deterministic prefix probe either way).
+        sample = as_source(ctx.train).sample_batch(self.sample)
         preds = ctx.model.predict(sample)
         fraction = warn_on_propensity_collapse(
             preds.ctr,

@@ -41,6 +41,11 @@ class TrainConfig:
     #: ``tests/autograd/test_plan_parity.py``); ragged final batches and
     #: shape/parameter changes fall back to eager automatically.
     compile_plan: bool = False
+    #: Cap the number of batches consumed per epoch (None = the whole
+    #: source).  Meant for streaming sources, where an "epoch" over a
+    #: production log can be arbitrarily long: it bounds wall-clock per
+    #: epoch-end checkpoint/validation without touching the data path.
+    max_batches_per_epoch: Optional[int] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -67,6 +72,11 @@ class TrainConfig:
             raise ValueError(
                 "early_stopping_patience must be >= 0 or None, got "
                 f"{self.early_stopping_patience}"
+            )
+        if self.max_batches_per_epoch is not None and self.max_batches_per_epoch < 1:
+            raise ValueError(
+                "max_batches_per_epoch must be >= 1 or None, got "
+                f"{self.max_batches_per_epoch}"
             )
         return self
 

@@ -28,8 +28,8 @@ import numpy as np
 
 from repro.autograd.plan import PlanRunner
 from repro.autograd.sparse import sparse_grads
-from repro.data.batching import batch_iterator
 from repro.data.dataset import InteractionDataset
+from repro.data.stream import DataSource, as_source
 from repro.models.base import MultiTaskModel
 from repro.nn.embedding import trusted_indices
 from repro.optim import Adam, clip_global_norm
@@ -88,18 +88,29 @@ class TrainingEngine:
     # ------------------------------------------------------------------
     def fit(
         self,
-        train: InteractionDataset,
+        train: "InteractionDataset | DataSource",
         validation: Optional[InteractionDataset] = None,
         resume_from: "Path | str | None" = None,
         callbacks: Optional[Sequence[Callback]] = None,
     ) -> TrainingHistory:
         """Run the step loop for up to ``config.epochs`` epochs.
 
+        ``train`` may be a RAM-resident :class:`InteractionDataset`
+        (wrapped in an :class:`~repro.data.stream.InMemorySource`,
+        bit-exact with the historical path) or any
+        :class:`~repro.data.stream.DataSource` -- the engine only ever
+        sees one epoch-iterable of batches, so out-of-core training is
+        the same loop.
+
         ``resume_from`` accepts a checkpoint file or a checkpoint
         directory (the newest *valid* snapshot is used); the run then
         continues bit-exactly from where the snapshot was taken,
-        re-hydrating each callback's state from snapshot metadata.
+        re-hydrating each callback's state from snapshot metadata.  The
+        snapshot's ``batch_in_epoch`` is the stream cursor: the source
+        skips that many batches while keeping its RNG stream aligned,
+        so continuation is bit-exact on streaming sources too.
         """
+        source = as_source(train)
         hooks = CallbackList(self.callbacks if callbacks is None else callbacks)
         ctx = TrainingContext(
             engine=self,
@@ -150,10 +161,10 @@ class TrainingEngine:
         with contextlib.ExitStack() as stack:
             ctx.stack = stack
             hooks.fire("on_fit_start", ctx)
-            # One pass over the datasets proves every sparse id is in
+            # One pass over the source proves every sparse id is in
             # range, which lets the embedding layer skip its per-lookup
             # bounds checks for the whole run (trusted_indices).
-            train.validate()
+            source.validate()
             if validation is not None:
                 validation.validate()
             if self.config.sparse_embedding_grads:
@@ -168,17 +179,17 @@ class TrainingEngine:
                 ctx.epoch_start_rng = self._rng.bit_generator.state
                 ctx.clean_steps = 0
                 hooks.fire("on_epoch_start", ctx)
+                start_batch = skip_batches if resuming_epoch else 0
                 for i, batch in enumerate(
-                    batch_iterator(
-                        train,
+                    source.iter_batches(
                         self.config.batch_size,
                         rng=self._rng,
                         shuffle=self.config.shuffle,
                         drop_last=self.config.drop_last,
-                    )
+                        start_batch=start_batch,
+                    ),
+                    start=start_batch,
                 ):
-                    if resuming_epoch and i < skip_batches:
-                        continue
                     ctx.batch_index = i
                     ctx.batch = batch
                     hooks.fire("on_batch_start", ctx)
@@ -206,6 +217,11 @@ class TrainingEngine:
                     ctx.n_batches_done += 1
                     ctx.clean_steps += 1
                     hooks.fire("on_batch_end", ctx)
+                    if (
+                        self.config.max_batches_per_epoch is not None
+                        and i + 1 >= self.config.max_batches_per_epoch
+                    ):
+                        break
                 ctx.history.epoch_losses.append(
                     ctx.epoch_loss_sum / max(ctx.n_batches_done, 1)
                 )
@@ -268,7 +284,7 @@ class TrainingEngine:
 # ----------------------------------------------------------------------
 def fit_model(
     model: MultiTaskModel,
-    train: InteractionDataset,
+    train: "InteractionDataset | DataSource",
     config: Optional[TrainConfig] = None,
     validation: Optional[InteractionDataset] = None,
     reliability=None,

@@ -1,0 +1,133 @@
+"""Conversion-delay timestamps and the censored-as-of-now view.
+
+Delays ride separate RNG streams (seed+303 / seed+404), so enabling
+them must leave every pre-existing column bit-identical -- the property
+that keeps all golden tests valid.  ``censored_as_of`` reproduces the
+production situation: conversions attributed after the observation
+time look like negatives (delayed-feedback fake negatives).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import ScenarioConfig, SyntheticScenario
+
+pytestmark = pytest.mark.stream
+
+BASE = dict(n_users=30, n_items=40, n_train=800, n_test=200, seed=11)
+DELAYS = dict(
+    conversion_delay_mean_hours=24.0,
+    conversion_delay_item_spread=1.0,
+    log_span_hours=72.0,
+)
+
+
+@pytest.fixture(scope="module")
+def timed():
+    scenario = SyntheticScenario(ScenarioConfig(**BASE, **DELAYS))
+    train, test = scenario.generate()
+    return scenario, train, test
+
+
+class TestDelayGeneration:
+    def test_delays_leave_existing_columns_bit_identical(self):
+        plain_train, _ = SyntheticScenario(ScenarioConfig(**BASE)).generate()
+        timed_train, _ = SyntheticScenario(
+            ScenarioConfig(**BASE, **DELAYS)
+        ).generate()
+        np.testing.assert_array_equal(plain_train.clicks, timed_train.clicks)
+        np.testing.assert_array_equal(
+            plain_train.conversions, timed_train.conversions
+        )
+        for k in plain_train.sparse:
+            np.testing.assert_array_equal(
+                plain_train.sparse[k], timed_train.sparse[k]
+            )
+        for k in plain_train.dense:
+            np.testing.assert_array_equal(
+                plain_train.dense[k], timed_train.dense[k]
+            )
+        assert plain_train.exposure_times is None
+        assert timed_train.exposure_times is not None
+
+    def test_conversion_times_only_on_observed_conversions(self, timed):
+        _, train, _ = timed
+        times = np.asarray(train.conversion_times, dtype=float)
+        converted = train.conversions == 1
+        assert np.isfinite(times[converted]).all()
+        assert np.isnan(times[~converted]).all()
+        assert (times[converted] > train.exposure_times[converted]).all()
+
+    def test_exposure_times_span_the_log_window(self, timed):
+        _, train, _ = timed
+        assert train.exposure_times.min() >= 0.0
+        assert train.exposure_times.max() <= 72.0
+
+    def test_delay_scale_varies_by_item(self, timed):
+        scenario, _, _ = timed
+        scales = scenario.item_delay_scale
+        assert scales.shape == (40,)
+        assert (scales > 0).all()
+        assert scales.std() > 0  # the item spread is on
+
+    def test_cdf_is_monotone_in_elapsed_time(self, timed):
+        scenario, _, _ = timed
+        items = np.arange(10)
+        early = scenario.conversion_delay_cdf(items, np.full(10, 6.0))
+        late = scenario.conversion_delay_cdf(items, np.full(10, 48.0))
+        assert (early >= 0).all() and (late <= 1).all()
+        assert (late > early).all()
+        zero = scenario.conversion_delay_cdf(items, np.full(10, -1.0))
+        np.testing.assert_array_equal(zero, np.zeros(10))
+
+    def test_delay_apis_require_delays_enabled(self):
+        scenario = SyntheticScenario(ScenarioConfig(**BASE))
+        with pytest.raises(ValueError, match="delays"):
+            scenario.sample_conversion_delays(
+                np.arange(4), np.random.default_rng(0)
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**BASE, conversion_delay_mean_hours=-1.0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(**BASE, log_span_hours=0.0)
+
+
+class TestCensoredAsOf:
+    def test_observed_conversions_grow_monotonically(self, timed):
+        _, train, _ = timed
+        counts = [
+            int(train.censored_as_of(now).conversions.sum())
+            for now in (6.0, 24.0, 72.0, 1e9)
+        ]
+        assert counts == sorted(counts)
+        assert counts[0] < int(train.conversions.sum())
+        assert counts[-1] == int(train.conversions.sum())
+
+    def test_censored_rows_look_like_negatives(self, timed):
+        _, train, _ = timed
+        now = 24.0
+        view = train.censored_as_of(now)
+        assert len(view) == len(train)
+        np.testing.assert_array_equal(view.clicks, train.clicks)
+        matured = (
+            np.nan_to_num(np.asarray(train.conversion_times), nan=np.inf)
+            <= now
+        )
+        np.testing.assert_array_equal(
+            view.conversions, (train.conversions == 1) & matured
+        )
+
+    def test_view_masks_unobserved_times_and_drops_oracle(self, timed):
+        _, train, _ = timed
+        view = train.censored_as_of(24.0)
+        assert not view.has_oracle
+        times = np.asarray(view.conversion_times, dtype=float)
+        assert np.isnan(times[view.conversions == 0]).all()
+        assert (times[view.conversions == 1] <= 24.0).all()
+
+    def test_requires_timestamps(self):
+        train, _ = SyntheticScenario(ScenarioConfig(**BASE)).generate()
+        with pytest.raises(ValueError, match="conversion_times"):
+            train.censored_as_of(24.0)

@@ -1,0 +1,326 @@
+"""The streaming data path: sources, bounded memory, provenance.
+
+The acceptance drill: a ``ChunkedCSVSource`` trains on a CSV >= 10x
+larger than its chunk budget while the :class:`ChunkMemoryGauge` proves
+that at no point do more than 2 chunks live in memory; the chunked
+arrays are bit-identical to a full in-memory load; strict-mode errors
+keep the loader's file:line:column provenance; and the ``start_batch``
+resume cursor yields batches bit-identical to an uninterrupted epoch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.data.batching import batch_iterator
+from repro.data.dataset import InteractionDataset
+from repro.data.ingest import (
+    BAD_DENSE,
+    MALFORMED_ROW,
+    IngestBudgetError,
+    IngestPolicy,
+)
+from repro.data.loaders import ColumnSpec, export_csv_dataset, load_csv_dataset
+from repro.data.stream import (
+    ChunkedCSVSource,
+    InMemorySource,
+    ReplaySource,
+    as_source,
+)
+
+pytestmark = pytest.mark.stream
+
+
+@pytest.fixture(scope="module")
+def world():
+    train, test, _ = load_scenario(
+        "ae_es", n_users=30, n_items=40, n_train=1200, n_test=200
+    )
+    return train, test
+
+
+@pytest.fixture(scope="module")
+def csv_path(world, tmp_path_factory):
+    train, _ = world
+    return export_csv_dataset(
+        train, tmp_path_factory.mktemp("stream") / "train.csv"
+    )
+
+
+def collect(batches):
+    return [
+        (b.clicks.copy(), b.conversions.copy(), {k: v.copy() for k, v in b.sparse.items()})
+        for b in batches
+    ]
+
+
+def assert_batches_equal(got, expected):
+    assert len(got) == len(expected)
+    for (gc, gv, gs), (ec, ev, es) in zip(got, expected):
+        np.testing.assert_array_equal(gc, ec)
+        np.testing.assert_array_equal(gv, ev)
+        assert gs.keys() == es.keys()
+        for k in gs:
+            np.testing.assert_array_equal(gs[k], es[k])
+
+
+# ----------------------------------------------------------------------
+class TestInMemorySource:
+    def test_bit_exact_with_batch_iterator(self, world):
+        train, _ = world
+        source = InMemorySource(train)
+        got = collect(
+            source.iter_batches(256, rng=np.random.default_rng(7), shuffle=True)
+        )
+        expected = collect(
+            batch_iterator(train, 256, rng=np.random.default_rng(7), shuffle=True)
+        )
+        assert_batches_equal(got, expected)
+
+    def test_start_batch_is_a_pure_skip(self, world):
+        train, _ = world
+        source = InMemorySource(train)
+        full = collect(
+            source.iter_batches(128, rng=np.random.default_rng(3), shuffle=True)
+        )
+        resumed = collect(
+            source.iter_batches(
+                128, rng=np.random.default_rng(3), shuffle=True, start_batch=4
+            )
+        )
+        assert_batches_equal(resumed, full[4:])
+
+    def test_len_and_sample_batch(self, world):
+        train, _ = world
+        source = InMemorySource(train)
+        assert len(source) == len(train)
+        probe = source.sample_batch(64)
+        assert probe.size == 64
+        np.testing.assert_array_equal(probe.clicks, train.clicks[:64])
+
+    def test_as_source_wraps_and_passes_through(self, world):
+        train, _ = world
+        source = as_source(train)
+        assert isinstance(source, InMemorySource)
+        assert as_source(source) is source
+        with pytest.raises(TypeError, match="InteractionDataset or DataSource"):
+            as_source([1, 2, 3])
+
+
+class TestBatchIteratorValidation:
+    def test_drop_last_oversized_batch_is_a_clear_error(self, world):
+        train, _ = world
+        with pytest.raises(ValueError, match="would yield zero batches"):
+            batch_iterator(
+                train,
+                len(train) + 1,
+                rng=np.random.default_rng(0),
+                drop_last=True,
+            )
+
+    def test_error_is_raised_eagerly_not_on_first_next(self, world):
+        """The misconfiguration surfaces at call time, not iteration."""
+        train, _ = world
+        with pytest.raises(ValueError):
+            batch_iterator(train, 50_000, drop_last=True, shuffle=False)
+
+
+# ----------------------------------------------------------------------
+class TestChunkedCSVSource:
+    def test_arrays_bit_identical_to_full_load(self, world, csv_path):
+        """Unshuffled chunked iteration concatenates to the in-memory
+        arrays (shared dense stats pin the standardisation)."""
+        full, vocabularies, stats = load_csv_dataset(csv_path)
+        source = ChunkedCSVSource(csv_path, chunk_rows=100, dense_stats=stats)
+        assert len(source) == len(full)
+
+        batches = list(source.iter_batches(64, shuffle=False))
+        clicks = np.concatenate([b.clicks for b in batches])
+        np.testing.assert_array_equal(clicks, full.clicks)
+        conversions = np.concatenate([b.conversions for b in batches])
+        np.testing.assert_array_equal(conversions, full.conversions)
+        for column in full.sparse:
+            got = np.concatenate([b.sparse[column] for b in batches])
+            np.testing.assert_array_equal(got, full.sparse[column])
+        for column in full.dense:
+            got = np.concatenate([b.dense[column] for b in batches])
+            np.testing.assert_array_equal(got, full.dense[column])
+
+    def test_incremental_vocabulary_matches_full_load(self, csv_path):
+        full, vocabularies, _ = load_csv_dataset(csv_path)
+        source = ChunkedCSVSource(csv_path, chunk_rows=100)
+        for column, mapping in vocabularies.maps.items():
+            assert source.vocabularies.maps[column] == mapping
+        assert source.schema.vocab_sizes() == full.schema.vocab_sizes()
+
+    def test_bounded_memory_over_10x_file(self, csv_path):
+        """>= 10 chunks per epoch, never more than 2 resident at once."""
+        source = ChunkedCSVSource(csv_path, chunk_rows=100)
+        n_chunks = len(source._plan.sizes)
+        assert n_chunks >= 10
+        for batch in source.iter_batches(
+            64, rng=np.random.default_rng(0), shuffle=True
+        ):
+            assert source.gauge.resident_chunks <= 2
+        assert source.gauge.peak_resident_chunks == 2
+        assert source.gauge.resident_chunks == 0
+        assert source.gauge.resident_bytes == 0
+        assert source.gauge.chunks_materialized == n_chunks
+        assert source.gauge.rows_materialized == len(source)
+
+    def test_start_batch_skips_without_desync(self, csv_path):
+        source = ChunkedCSVSource(csv_path, chunk_rows=100)
+        full = collect(
+            source.iter_batches(64, rng=np.random.default_rng(11), shuffle=True)
+        )
+        resumed = collect(
+            source.iter_batches(
+                64, rng=np.random.default_rng(11), shuffle=True, start_batch=5
+            )
+        )
+        assert_batches_equal(resumed, full[5:])
+
+    def test_skipped_chunks_are_not_materialized(self, csv_path):
+        source = ChunkedCSVSource(csv_path, chunk_rows=100)
+        n_per_epoch = source.n_batches_per_epoch(50, drop_last=False)
+        before = source.gauge.chunks_materialized
+        # Resume at the final batch: all earlier whole chunks skip.
+        list(
+            source.iter_batches(
+                50,
+                rng=np.random.default_rng(1),
+                shuffle=True,
+                start_batch=n_per_epoch - 1,
+            )
+        )
+        assert source.gauge.chunks_materialized - before == 1
+
+    def test_drop_last_bigger_than_chunk_is_an_error(self, csv_path):
+        source = ChunkedCSVSource(csv_path, chunk_rows=100)
+        with pytest.raises(ValueError, match="smallest chunk"):
+            source.iter_batches(
+                101, rng=np.random.default_rng(0), drop_last=True
+            )
+
+    def test_n_batches_per_epoch_counts_chunk_tails(self, csv_path):
+        source = ChunkedCSVSource(csv_path, chunk_rows=100)
+        got = sum(1 for _ in source.iter_batches(64, shuffle=False))
+        assert got == source.n_batches_per_epoch(64, drop_last=False)
+        # Per-chunk tails make this more than ceil(n / batch).
+        assert got > -(-len(source) // 64)
+
+    def test_sample_batch_is_deterministic_head(self, csv_path):
+        source = ChunkedCSVSource(csv_path, chunk_rows=100)
+        a, b = source.sample_batch(32), source.sample_batch(32)
+        assert a.size == 32
+        np.testing.assert_array_equal(a.clicks, b.clicks)
+        np.testing.assert_array_equal(
+            a.sparse["user_id"], b.sparse["user_id"]
+        )
+
+
+class TestChunkedCSVProvenance:
+    HEADER = "user_id,item_id,user_hist_ctr,click,conversion\n"
+    SPEC = ColumnSpec(dense_features=("user_hist_ctr",))
+
+    def write(self, tmp_path, rows):
+        path = tmp_path / "dirty.csv"
+        path.write_text(self.HEADER + "".join(rows))
+        return path
+
+    def test_strict_ragged_row_provenance(self, tmp_path):
+        path = self.write(
+            tmp_path, ["u1,i1,0.5,1,0\n", "u2,i2,0.4,0\n"]
+        )
+        with pytest.raises(ValueError, match=rf"{path}:3: expected 5 cells"):
+            ChunkedCSVSource(path, chunk_rows=10)
+
+    def test_strict_bad_dense_provenance(self, tmp_path):
+        path = self.write(
+            tmp_path, ["u1,i1,0.5,1,0\n", "u2,i2,oops,0,0\n"]
+        )
+        with pytest.raises(
+            ValueError, match=rf"{path}:3: column 'user_hist_ctr'"
+        ):
+            ChunkedCSVSource(path, chunk_rows=10, spec=self.SPEC)
+
+    def test_strict_label_inconsistency_provenance(self, tmp_path):
+        path = self.write(
+            tmp_path, ["u1,i1,0.5,1,1\n", "u2,i2,0.4,0,1\n"]
+        )
+        with pytest.raises(
+            ValueError, match=rf"{path}:3: column 'conversion'"
+        ):
+            ChunkedCSVSource(path, chunk_rows=10)
+
+    def test_quarantine_mode_drops_and_reports(self, tmp_path):
+        rows = (
+            ["u1,i1,0.5,1,1\n", "u2,i2,nan,1,0\n", "u3,i3,0.4,0\n"]
+            + [f"u{i},i{i},0.{i},1,0\n" for i in range(4, 14)]
+        )
+        path = self.write(tmp_path, rows)
+        policy = IngestPolicy(error_budget=0.5, on_bad_dense="impute")
+        source = ChunkedCSVSource(path, chunk_rows=4, spec=self.SPEC, policy=policy)
+        assert len(source) == len(rows) - 1  # the ragged row drops
+        assert source.report.reason_counts[MALFORMED_ROW] == 1
+        assert source.report.reason_counts[BAD_DENSE] == 1
+        assert source.report.repaired_rows == 1
+        # The imputed row streams with the default dense value.
+        total = sum(b.size for b in source.iter_batches(5, shuffle=False))
+        assert total == len(source)
+
+    def test_quarantine_budget_enforced_at_construction(self, tmp_path):
+        rows = ["u1,i1,bad,1,0\n", "u2,i2,bad,1,0\n", "u3,i3,0.4,1,0\n"]
+        path = self.write(tmp_path, rows)
+        policy = IngestPolicy(error_budget=0.25, on_bad_dense="drop")
+        with pytest.raises(IngestBudgetError):
+            ChunkedCSVSource(path, chunk_rows=4, spec=self.SPEC, policy=policy)
+
+
+# ----------------------------------------------------------------------
+class TestReplaySource:
+    @pytest.fixture(scope="class")
+    def timed(self):
+        train, _, _ = load_scenario(
+            "ae_es",
+            n_users=30,
+            n_items=40,
+            n_train=600,
+            n_test=100,
+            conversion_delay_mean_hours=24.0,
+            conversion_delay_item_spread=0.8,
+        )
+        return train
+
+    def test_replays_in_event_time_order(self, timed):
+        source = ReplaySource(timed)
+        seen = np.concatenate(
+            [b.clicks for b in source.iter_batches(100, shuffle=False)]
+        )
+        order = np.argsort(timed.exposure_times, kind="stable")
+        np.testing.assert_array_equal(seen, timed.clicks[order])
+
+    def test_shuffle_is_rejected(self, timed):
+        source = ReplaySource(timed)
+        with pytest.raises(ValueError, match="time-ordered"):
+            source.iter_batches(100, rng=np.random.default_rng(0), shuffle=True)
+
+    def test_needs_timestamps(self, world):
+        train, _ = world
+        with pytest.raises(ValueError, match="exposure_times"):
+            ReplaySource(train)
+
+    def test_drop_last_oversized_batch_is_an_error(self, timed):
+        source = ReplaySource(timed)
+        with pytest.raises(ValueError, match="zero batches"):
+            source.iter_batches(
+                len(timed) + 1, shuffle=False, drop_last=True
+            )
+
+    def test_start_batch_resumes_the_tape(self, timed):
+        source = ReplaySource(timed)
+        full = collect(source.iter_batches(64, shuffle=False))
+        resumed = collect(
+            source.iter_batches(64, shuffle=False, start_batch=3)
+        )
+        assert_batches_equal(resumed, full[3:])

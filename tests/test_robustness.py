@@ -130,8 +130,9 @@ class TestTrainingRobustness:
         assert np.isfinite(history.epoch_losses[0])
 
     def test_drop_last_with_tiny_dataset(self, world, config):
-        """drop_last with batch > dataset yields zero batches; the
-        trainer must handle an empty epoch gracefully."""
+        """drop_last with batch > dataset would yield zero batches; the
+        misconfiguration fails loudly instead of training on nothing
+        (an empty epoch used to pass silently with loss 0.0)."""
         from repro.training import TrainConfig, Trainer
 
         model = build_model("esmm", world.schema, config)
@@ -139,8 +140,8 @@ class TestTrainingRobustness:
             model,
             TrainConfig(epochs=1, batch_size=10_000, drop_last=True),
         )
-        history = trainer.fit(world)
-        assert history.epoch_losses == [0.0]
+        with pytest.raises(ValueError, match="would yield zero batches"):
+            trainer.fit(world)
 
 
 class TestSNIPSDegeneracy:

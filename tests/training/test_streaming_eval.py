@@ -1,0 +1,163 @@
+"""Streaming metric accumulators agree with the batch metrics.
+
+The histogram AUC is exact up to score quantisation (1/bins); the
+running-sum log loss and the ECE use the *same* arithmetic as the
+batch implementations, so they agree to fp-summation precision no
+matter how the rows are sharded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import load_scenario
+from repro.data.stream import InMemorySource
+from repro.metrics.classification import expected_calibration_error, log_loss
+from repro.metrics.ranking import auc
+from repro.models import ModelConfig, build_model
+from repro.training import (
+    StreamingAUC,
+    StreamingECE,
+    StreamingLogLoss,
+    StreamingMean,
+    TrainConfig,
+    evaluate_model,
+    evaluate_model_streaming,
+    fit_model,
+)
+
+pytestmark = pytest.mark.stream
+
+
+@pytest.fixture(scope="module")
+def labelled(rng_module):
+    labels = (rng_module.random(5000) < 0.3).astype(int)
+    scores = np.clip(
+        0.25 * labels + 0.4 * rng_module.random(5000), 0.0, 1.0
+    )
+    return labels, scores
+
+
+@pytest.fixture(scope="module")
+def rng_module():
+    return np.random.default_rng(99)
+
+
+def sharded(labels, scores, n_shards=7):
+    for part_l, part_s in zip(
+        np.array_split(labels, n_shards), np.array_split(scores, n_shards)
+    ):
+        yield part_l, part_s
+
+
+class TestAccumulators:
+    def test_streaming_auc_matches_exact_auc(self, labelled):
+        labels, scores = labelled
+        acc = StreamingAUC(bins=4096)
+        for part_l, part_s in sharded(labels, scores):
+            acc.update(part_l, part_s)
+        assert acc.result() == pytest.approx(auc(labels, scores), abs=1e-3)
+
+    def test_streaming_auc_exact_on_quantised_scores(self, labelled):
+        labels, scores = labelled
+        bins = 64
+        quantised = np.floor(scores * bins) / bins + 0.5 / bins
+        acc = StreamingAUC(bins=bins)
+        acc.update(labels, quantised)
+        assert acc.result() == pytest.approx(
+            auc(labels, quantised), abs=1e-12
+        )
+
+    def test_streaming_auc_merge_equals_single_pass(self, labelled):
+        labels, scores = labelled
+        whole = StreamingAUC()
+        whole.update(labels, scores)
+        merged = StreamingAUC()
+        for part_l, part_s in sharded(labels, scores):
+            shard = StreamingAUC()
+            shard.update(part_l, part_s)
+            merged.merge(shard)
+        assert merged.result() == whole.result()
+        with pytest.raises(ValueError, match="merge"):
+            merged.merge(StreamingAUC(bins=16))
+
+    def test_streaming_auc_degenerate_labels_return_none(self):
+        acc = StreamingAUC()
+        acc.update(np.ones(10), np.linspace(0, 1, 10))
+        assert acc.result() is None
+
+    def test_streaming_log_loss_matches_batch(self, labelled):
+        labels, scores = labelled
+        acc = StreamingLogLoss()
+        for part_l, part_s in sharded(labels, scores):
+            acc.update(part_l, part_s)
+        assert acc.result() == pytest.approx(
+            log_loss(labels, scores), rel=1e-12
+        )
+
+    def test_streaming_ece_matches_batch(self, labelled):
+        labels, scores = labelled
+        acc = StreamingECE(bins=10)
+        for part_l, part_s in sharded(labels, scores):
+            acc.update(part_l, part_s)
+        assert acc.result() == pytest.approx(
+            expected_calibration_error(labels, scores, n_bins=10), rel=1e-12
+        )
+
+    def test_streaming_mean_and_empty_results(self):
+        mean = StreamingMean()
+        assert mean.result() is None
+        mean.update(np.array([1.0, 2.0, 3.0]))
+        mean.update(np.array([4.0]))
+        assert mean.result() == pytest.approx(2.5)
+        assert StreamingLogLoss().result() is None
+        assert StreamingECE().result() is None
+
+
+class TestEvaluateModelStreaming:
+    @pytest.fixture(scope="class")
+    def trained(self):
+        train, test, _ = load_scenario(
+            "ae_es", n_users=40, n_items=50, n_train=2000, n_test=800
+        )
+        model = build_model(
+            "dcmt", train.schema, ModelConfig(embedding_dim=4, hidden_sizes=(8,))
+        )
+        fit_model(
+            model,
+            train,
+            TrainConfig(epochs=2, batch_size=256, learning_rate=0.01, seed=0),
+        )
+        return model, test
+
+    def test_agrees_with_batch_evaluation(self, trained):
+        model, test = trained
+        batch_result = evaluate_model(model, test)
+        streamed = evaluate_model_streaming(
+            model, InMemorySource(test), batch_size=128
+        )
+        assert streamed.n_rows == len(test)
+        assert streamed.source_name == test.name
+        assert streamed.ctr_auc == pytest.approx(batch_result.ctr_auc, abs=1e-3)
+        assert streamed.cvr_auc_o == pytest.approx(
+            batch_result.cvr_auc_o, abs=2e-3
+        )
+        # CTCVR scores crowd the lowest histogram bins, so the
+        # quantisation error is the largest of the three AUCs.
+        assert streamed.ctcvr_auc == pytest.approx(
+            batch_result.ctcvr_auc, abs=5e-3
+        )
+        assert streamed.avg_cvr_prediction == pytest.approx(
+            batch_result.avg_cvr_prediction, rel=1e-9
+        )
+
+    def test_is_batch_size_invariant(self, trained):
+        model, test = trained
+        small = evaluate_model_streaming(model, InMemorySource(test), batch_size=64)
+        large = evaluate_model_streaming(
+            model, InMemorySource(test), batch_size=4096
+        )
+        assert small.ctr_auc == pytest.approx(large.ctr_auc, abs=1e-12)
+        assert small.cvr_log_loss_o == pytest.approx(
+            large.cvr_log_loss_o, rel=1e-9
+        )
+        assert small.cvr_ece_o == pytest.approx(large.cvr_ece_o, rel=1e-9)
