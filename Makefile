@@ -1,6 +1,6 @@
 # Convenience targets for the DCMT reproduction.
 
-.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest verify-lifecycle verify-fleet verify-plan verify-stream
+.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest verify-lifecycle verify-fleet verify-plan verify-stream verify-parallel
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,7 +21,7 @@ lint:
 # The CI gate: lint, the robustness, ingest, lifecycle, fleet, and
 # plan lanes, then the full tier-1 suite from a clean checkout --
 # every PR runs all of it.
-verify: lint verify-robustness verify-ingest verify-lifecycle verify-fleet verify-plan verify-stream
+verify: lint verify-robustness verify-ingest verify-lifecycle verify-fleet verify-plan verify-stream verify-parallel
 	PYTHONPATH=src python -m pytest -x -q tests/
 
 # Every test tagged `robustness`: degenerate-batch hardening plus the
@@ -61,6 +61,12 @@ verify-plan:
 # mid-epoch resume, streamed metrics, delayed-feedback correction).
 verify-stream:
 	PYTHONPATH=src pytest -m stream tests/
+
+# Every test tagged `parallel`: the supervised data-parallel worker
+# pool (bit-exact pool-vs-serial parity, deadline/heartbeat
+# supervision, graceful shard degradation, trainer chaos drills).
+verify-parallel:
+	PYTHONPATH=src pytest -m parallel tests/
 
 # Throughput-only benches (dense/sparse training + inference); writes
 # BENCH_throughput.json at the repo root with measured rows/s, the

@@ -646,6 +646,52 @@ class ReplaySource(DataSource):
 
 
 # ----------------------------------------------------------------------
+def shard_sizes(n_rows: int, n_shards: int) -> List[int]:
+    """Row counts of a contiguous ``n_shards``-way split of ``n_rows``.
+
+    The first ``n_rows % n_shards`` shards carry one extra row (the
+    ``np.array_split`` convention).  When there are fewer rows than
+    shards the empty tails are dropped, so every returned size is
+    positive -- a ragged final batch simply fans out to fewer workers.
+    """
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_rows < 1:
+        raise ValueError(f"n_rows must be >= 1, got {n_rows}")
+    base, extra = divmod(n_rows, n_shards)
+    sizes = [base + 1] * extra + [base] * (n_shards - extra)
+    return [s for s in sizes if s > 0]
+
+
+def shard_batch(batch: Batch, n_shards: int) -> List[Batch]:
+    """Split one batch into contiguous row shards for parallel workers.
+
+    The split is pure arithmetic over the row count (see
+    :func:`shard_sizes`), so the shard a row lands in depends only on
+    ``(batch.size, n_shards)`` -- the property that makes the parallel
+    engine's seeded aggregation order reproducible, and the serial
+    replay of the same split bit-exact.  Slices are views; workers in a
+    forked process copy on pickle anyway.
+    """
+    sizes = shard_sizes(batch.size, n_shards)
+    shards: List[Batch] = []
+    start = 0
+    for size in sizes:
+        rows = slice(start, start + size)
+        shards.append(
+            Batch(
+                sparse={k: v[rows] for k, v in batch.sparse.items()},
+                dense={k: v[rows] for k, v in batch.dense.items()},
+                clicks=batch.clicks[rows],
+                conversions=batch.conversions[rows],
+                actions=None if batch.actions is None else batch.actions[rows],
+                weights=None if batch.weights is None else batch.weights[rows],
+            )
+        )
+        start += size
+    return shards
+
+
 def as_source(data: "InteractionDataset | DataSource") -> DataSource:
     """Adapt ``data`` to the source protocol (datasets get wrapped)."""
     if isinstance(data, DataSource):

@@ -59,6 +59,13 @@ from repro.reliability.errors import (
     ReplicaUnavailableError,
     RequestShedError,
     ScoringUnavailableError,
+    WorkerPoolError,
+)
+from repro.reliability.timeouts import (
+    Deadline,
+    cap_to_deadline,
+    exponential_backoff,
+    jittered_backoff,
 )
 from repro.reliability.health import (
     CRITICAL,
@@ -77,7 +84,10 @@ from repro.reliability.faults import (
     FaultSpec,
     FleetFaultSpec,
     ReplicaFault,
+    TrainerFaultSpec,
+    WorkerFault,
     build_fleet_fault_schedule,
+    build_trainer_fault_schedule,
 )
 from repro.reliability.guards import (
     GuardEvent,
@@ -124,12 +134,20 @@ __all__ = [
     "RegistryCorruptError",
     "ScoringUnavailableError",
     "PropensityCollapseWarning",
+    "WorkerPoolError",
+    "Deadline",
+    "cap_to_deadline",
+    "exponential_backoff",
+    "jittered_backoff",
     "FaultInjector",
     "FaultRecord",
     "FaultSpec",
     "FleetFaultSpec",
     "ReplicaFault",
+    "TrainerFaultSpec",
+    "WorkerFault",
     "build_fleet_fault_schedule",
+    "build_trainer_fault_schedule",
     "GuardEvent",
     "LossGuard",
     "LossGuardConfig",

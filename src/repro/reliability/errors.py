@@ -66,6 +66,17 @@ class ReplicaUnavailableError(ReliabilityError):
     """
 
 
+class WorkerPoolError(ReliabilityError):
+    """The data-parallel worker pool can no longer make progress.
+
+    Raised by :class:`~repro.training.parallel.WorkerSupervisor` when
+    worker losses push the pool below its ``min_workers`` quorum (and
+    single-process fallback is disabled), and by the unsupervised
+    strawman pool the moment any worker dies or its watchdog detects a
+    stall -- the failure modes supervision exists to absorb.
+    """
+
+
 class RegistryCorruptError(ReliabilityError):
     """A model-registry entry failed digest or structural verification.
 

@@ -37,6 +37,12 @@ REPLICA_SLOWDOWN = "slowdown"
 REPLICA_NAN = "nan_predictions"
 _REPLICA_FAULT_KINDS = (REPLICA_KILL, REPLICA_SLOWDOWN, REPLICA_NAN)
 
+#: Trainer worker-pool fault kinds (the vocabulary of :class:`WorkerFault`).
+WORKER_KILL = "worker_kill"
+WORKER_HANG = "worker_hang"
+WORKER_SLOW = "worker_slow"
+_WORKER_FAULT_KINDS = (WORKER_KILL, WORKER_HANG, WORKER_SLOW)
+
 
 @dataclass(frozen=True)
 class FaultSpec:
@@ -322,4 +328,148 @@ def build_fleet_fault_schedule(
             )
         )
     faults.sort(key=lambda f: (f.start, f.replica, f.kind))
+    return faults
+
+
+# ----------------------------------------------------------------------
+# Trainer worker faults: SIGKILL / hang / slow-worker events on a
+# seeded dispatch-step timeline, applied by the TrainerChaosDrill.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """One fault against one worker of a supervised training pool."""
+
+    #: ``worker_kill`` (the supervisor SIGKILLs the worker process at
+    #: ``start``), ``worker_hang`` (the worker sleeps indefinitely
+    #: instead of computing its shard), or ``worker_slow`` (each shard
+    #: costs ``latency_s`` extra wall-clock while active).
+    kind: str
+    #: Stable slot index of the afflicted worker (0-based, assigned at
+    #: pool spawn; slots survive worker loss so schedules stay
+    #: addressable).
+    worker: int
+    #: Global dispatch step (0-based optimizer-step attempts) at which
+    #: the fault begins.
+    start: int
+    #: Fault length in dispatch steps; ``None`` means permanent (the
+    #: default for kills and hangs -- a hung worker does not un-hang).
+    duration: Optional[int] = None
+    #: Extra seconds per shard while a ``worker_slow`` fault is active.
+    latency_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _WORKER_FAULT_KINDS:
+            raise ValueError(
+                f"kind must be one of {_WORKER_FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.worker < 0:
+            raise ValueError(f"worker must be >= 0, got {self.worker}")
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.duration is not None and self.duration < 1:
+            raise ValueError(
+                f"duration must be >= 1 or None, got {self.duration}"
+            )
+        if self.latency_s < 0:
+            raise ValueError(f"latency_s must be >= 0, got {self.latency_s}")
+        if self.kind == WORKER_SLOW and self.latency_s == 0:
+            raise ValueError("a worker_slow fault needs latency_s > 0")
+
+    def active(self, step: int) -> bool:
+        """Is the fault in force at dispatch ``step``?"""
+        if step < self.start:
+            return False
+        return self.duration is None or step < self.start + self.duration
+
+
+@dataclass(frozen=True)
+class TrainerFaultSpec:
+    """How many worker faults of each kind a seeded schedule contains."""
+
+    #: Permanent SIGKILLs (at most one per worker).
+    n_kills: int = 1
+    #: Permanent hangs (distinct workers, never on a killed worker --
+    #: a fault that can never be observed proves nothing).
+    n_hangs: int = 0
+    #: Slow-worker windows.
+    n_slow: int = 0
+    #: Extra seconds per shard during a slow window.
+    slow_latency_s: float = 0.05
+    #: Length of each slow window, in dispatch steps.
+    slow_duration: int = 5
+
+    def __post_init__(self) -> None:
+        for name in ("n_kills", "n_hangs", "n_slow"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.slow_latency_s <= 0:
+            raise ValueError(
+                f"slow_latency_s must be > 0, got {self.slow_latency_s}"
+            )
+        if self.slow_duration < 1:
+            raise ValueError(
+                f"slow_duration must be >= 1, got {self.slow_duration}"
+            )
+
+
+def build_trainer_fault_schedule(
+    spec: TrainerFaultSpec,
+    n_workers: int,
+    n_steps: int,
+    seed: int = 0,
+) -> List[WorkerFault]:
+    """Draw a deterministic worker-fault schedule for one drill run.
+
+    Mirrors :func:`build_fleet_fault_schedule`: placement comes from
+    ``SeedSequence([seed, n_workers, n_steps])``, kills and hangs land
+    on distinct workers (and never stack -- a killed worker cannot also
+    hang), and every fault starts inside the middle 80% of the run so
+    the transcript shows a clean lead-in and the aftermath.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    if n_steps < 1:
+        raise ValueError(f"n_steps must be >= 1, got {n_steps}")
+    if spec.n_kills + spec.n_hangs > n_workers:
+        raise ValueError(
+            f"cannot place {spec.n_kills} kills + {spec.n_hangs} hangs "
+            f"on {n_workers} workers"
+        )
+    rng = np.random.default_rng(
+        np.random.SeedSequence([seed, n_workers, n_steps])
+    )
+    lo, hi = max(1, n_steps // 10), max(2, (9 * n_steps) // 10)
+    faults: List[WorkerFault] = []
+    targets = rng.choice(
+        n_workers, size=spec.n_kills + spec.n_hangs, replace=False
+    )
+    for target in targets[: spec.n_kills]:
+        faults.append(
+            WorkerFault(
+                kind=WORKER_KILL,
+                worker=int(target),
+                start=int(rng.integers(lo, hi)),
+            )
+        )
+    for target in targets[spec.n_kills :]:
+        faults.append(
+            WorkerFault(
+                kind=WORKER_HANG,
+                worker=int(target),
+                start=int(rng.integers(lo, hi)),
+            )
+        )
+    for _ in range(spec.n_slow):
+        faults.append(
+            WorkerFault(
+                kind=WORKER_SLOW,
+                worker=int(rng.integers(0, n_workers)),
+                start=int(rng.integers(lo, hi)),
+                duration=spec.slow_duration,
+                latency_s=spec.slow_latency_s,
+            )
+        )
+    faults.sort(key=lambda f: (f.start, f.worker, f.kind))
     return faults

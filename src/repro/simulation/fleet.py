@@ -60,6 +60,7 @@ from repro.reliability.health import (
     FleetHealthMonitor,
     FleetHealthPolicy,
 )
+from repro.reliability.timeouts import cap_to_deadline, jittered_backoff
 from repro.simulation.serving import Deadline, RankingService
 from repro.utils.hashing import stable_fraction
 from repro.utils.logging import get_logger, log_event
@@ -484,10 +485,12 @@ class ServingFleet:
         the deadline cannot afford it.
         """
         u = float(self._rng.random())
-        pause = self.policy.hedge_backoff_s * (
-            1.0 + self.policy.hedge_jitter * u
+        pause = cap_to_deadline(
+            jittered_backoff(
+                self.policy.hedge_backoff_s, self.policy.hedge_jitter, u
+            ),
+            deadline,
         )
-        pause = min(pause, max(deadline.remaining(), 0.0))
         if pause > 0 and np.isfinite(pause):
             self._sleep(pause)
         return u

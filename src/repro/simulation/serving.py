@@ -45,39 +45,19 @@ from repro.reliability.config import AdmissionPolicy, ServingPolicy
 from repro.reliability.drift import DriftSentinel
 from repro.reliability.errors import RequestShedError, ScoringUnavailableError
 from repro.reliability.health import SHEDDING, HealthMonitor, HealthPolicy
+from repro.reliability.timeouts import (
+    Deadline,
+    cap_to_deadline,
+    exponential_backoff,
+)
 from repro.utils.logging import get_logger, log_event
 
 logger = get_logger("simulation.serving")
 
-
-class Deadline:
-    """Per-request latency budget with an injectable clock.
-
-    ``None`` budget means "no deadline" -- every check reports
-    unexpired.  The deadline is created when the request is admitted
-    and propagated through the retry/fallback chain, so a slow primary
-    scorer cannot spend the whole budget on retries.
-    """
-
-    def __init__(
-        self, budget_s: Optional[float], clock: Callable[[], float]
-    ) -> None:
-        if budget_s is not None and budget_s <= 0:
-            raise ValueError(f"budget_s must be > 0 or None, got {budget_s}")
-        self.budget_s = budget_s
-        self._clock = clock
-        self._start = clock()
-
-    def elapsed(self) -> float:
-        return self._clock() - self._start
-
-    def remaining(self) -> float:
-        if self.budget_s is None:
-            return float("inf")
-        return self.budget_s - self.elapsed()
-
-    def expired(self) -> bool:
-        return self.budget_s is not None and self.remaining() <= 0.0
+# ``Deadline`` is re-exported here for the many call sites (fleet,
+# tests, examples) that historically imported it from this module; it
+# now lives with the rest of the retry/backoff machinery in
+# :mod:`repro.reliability.timeouts`.
 
 
 class AdmissionQueue:
@@ -426,10 +406,12 @@ class RankingService:
                     if attempt < policy.max_retries and self.breaker.allow():
                         self.stats.retries += 1
                         if policy.backoff_s:
-                            pause = policy.backoff_s * (
-                                policy.backoff_multiplier**attempt
+                            pause = exponential_backoff(
+                                policy.backoff_s,
+                                attempt,
+                                policy.backoff_multiplier,
                             )
-                            time.sleep(min(pause, max(deadline.remaining(), 0.0)))
+                            time.sleep(cap_to_deadline(pause, deadline))
                         continue
                     break
                 else:

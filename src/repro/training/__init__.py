@@ -16,8 +16,15 @@ oracle.
 
 from repro.reliability.config import ReliabilityConfig
 from repro.training.config import TrainConfig
-from repro.training.engine import TrainingEngine, fit_model
+from repro.training.engine import TrainingEngine, create_engine, fit_model
 from repro.training.history import TrainingHistory
+from repro.training.parallel import (
+    ShardedTrainingEngine,
+    TrainerChaosDrill,
+    TrainerDrillReport,
+    UnsupervisedWorkerPool,
+    WorkerSupervisor,
+)
 from repro.training.trainer import Trainer, default_callbacks
 from repro.training.evaluation import (
     EvaluationResult,
@@ -46,6 +53,12 @@ __all__ = [
     "Trainer",
     "TrainingEngine",
     "TrainingHistory",
+    "ShardedTrainingEngine",
+    "TrainerChaosDrill",
+    "TrainerDrillReport",
+    "UnsupervisedWorkerPool",
+    "WorkerSupervisor",
+    "create_engine",
     "fit_model",
     "default_callbacks",
     "Callback",

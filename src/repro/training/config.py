@@ -47,8 +47,59 @@ class TrainConfig:
     #: epoch-end checkpoint/validation without touching the data path.
     max_batches_per_epoch: Optional[int] = None
 
+    # -- data-parallel worker pool (repro.training.parallel) -----------
+    #: Size of the supervised ``multiprocessing`` worker pool; ``None``
+    #: keeps training single-process.  ``num_workers=1`` is a valid
+    #: (degenerate) pool, useful for isolating IPC from parallelism.
+    num_workers: Optional[int] = None
+    #: Shards per optimizer step.  Defaults to ``num_workers`` when the
+    #: pool is on; may be set alone to run the *serial* sharded loop --
+    #: the bit-exact single-process reference for a ``num_workers ==
+    #: num_shards`` parallel run.
+    num_shards: Optional[int] = None
+    #: Per-dispatch deadline: how long the supervisor waits for one
+    #: shard gradient before treating the worker as a straggler.
+    worker_deadline_s: float = 30.0
+    #: How often each worker's liveness thread beats.
+    heartbeat_interval_s: float = 0.2
+    #: A worker whose last heartbeat is older than this is declared
+    #: dead (frozen process), not merely slow.  Must stay below
+    #: ``worker_deadline_s`` so liveness is known by the time a
+    #: dispatch deadline fires.
+    heartbeat_timeout_s: float = 5.0
+    #: Consecutive deadline strikes a worker survives before the
+    #: supervisor SIGKILLs it as lost.
+    worker_retries: int = 2
+    #: Base pause before re-dispatching a missed shard elsewhere
+    #: (jittered by ``worker_backoff_jitter`` through the supervisor's
+    #: seeded RNG, capped by the remaining step deadline).
+    worker_backoff_s: float = 0.01
+    worker_backoff_jitter: float = 0.5
+    #: Quorum: below this many live workers the pool gives up --
+    #: falling back to single-process when
+    #: ``single_process_fallback`` is set, raising ``WorkerPoolError``
+    #: otherwise.
+    min_workers: int = 1
+    #: Losing quorum degrades to in-process training instead of
+    #: aborting the run.
+    single_process_fallback: bool = True
+
     def __post_init__(self) -> None:
         self.validate()
+
+    @property
+    def parallel_enabled(self) -> bool:
+        """Whether fits should run through the sharded engine."""
+        return self.num_workers is not None or (
+            self.num_shards is not None and self.num_shards > 1
+        )
+
+    @property
+    def effective_shards(self) -> int:
+        """Shards per step the sharded engine starts with."""
+        if self.num_shards is not None:
+            return self.num_shards
+        return self.num_workers if self.num_workers is not None else 1
 
     def validate(self) -> "TrainConfig":
         """Raise ``ValueError`` for nonsensical settings; returns self.
@@ -77,6 +128,59 @@ class TrainConfig:
             raise ValueError(
                 "max_batches_per_epoch must be >= 1 or None, got "
                 f"{self.max_batches_per_epoch}"
+            )
+        if self.num_workers is not None and self.num_workers < 1:
+            raise ValueError(
+                f"num_workers must be >= 1 or None, got {self.num_workers}"
+            )
+        if self.num_shards is not None and self.num_shards < 1:
+            raise ValueError(
+                f"num_shards must be >= 1 or None, got {self.num_shards}"
+            )
+        if self.worker_deadline_s <= 0:
+            raise ValueError(
+                f"worker_deadline_s must be > 0, got {self.worker_deadline_s}"
+            )
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError(
+                f"heartbeat_interval_s must be > 0, got {self.heartbeat_interval_s}"
+            )
+        if self.heartbeat_timeout_s <= 0:
+            raise ValueError(
+                f"heartbeat_timeout_s must be > 0, got {self.heartbeat_timeout_s}"
+            )
+        if self.heartbeat_timeout_s >= self.worker_deadline_s:
+            raise ValueError(
+                "heartbeat_timeout_s must be < worker_deadline_s (liveness "
+                "must be decidable by the time a dispatch deadline fires), "
+                f"got {self.heartbeat_timeout_s} >= {self.worker_deadline_s}"
+            )
+        if self.heartbeat_interval_s >= self.heartbeat_timeout_s:
+            raise ValueError(
+                "heartbeat_interval_s must be < heartbeat_timeout_s, got "
+                f"{self.heartbeat_interval_s} >= {self.heartbeat_timeout_s}"
+            )
+        if self.worker_retries < 0:
+            raise ValueError(
+                f"worker_retries must be >= 0, got {self.worker_retries}"
+            )
+        if self.worker_backoff_s < 0 or self.worker_backoff_jitter < 0:
+            raise ValueError(
+                "worker_backoff_s and worker_backoff_jitter must be >= 0, got "
+                f"{self.worker_backoff_s} / {self.worker_backoff_jitter}"
+            )
+        if self.min_workers < 1:
+            raise ValueError(f"min_workers must be >= 1, got {self.min_workers}")
+        if self.num_workers is not None and self.min_workers > self.num_workers:
+            raise ValueError(
+                f"min_workers ({self.min_workers}) cannot exceed "
+                f"num_workers ({self.num_workers})"
+            )
+        if self.compile_plan and self.parallel_enabled:
+            raise ValueError(
+                "compile_plan is incompatible with the sharded engine: "
+                "plans are traced per-process over full-size batches, "
+                "workers replay shard-size batches"
             )
         return self
 

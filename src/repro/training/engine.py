@@ -170,6 +170,7 @@ class TrainingEngine:
             if self.config.sparse_embedding_grads:
                 stack.enter_context(sparse_grads(True))
             stack.enter_context(trusted_indices())
+            self._enter_fit(ctx, stack)
             for epoch in range(start_epoch, self.config.epochs):
                 ctx.epoch = epoch
                 resuming_epoch = epoch == start_epoch and skip_batches > 0
@@ -193,20 +194,12 @@ class TrainingEngine:
                     ctx.batch_index = i
                     ctx.batch = batch
                     hooks.fire("on_batch_start", ctx)
-                    if runner is not None:
-                        loss = runner.forward(ctx.batch)
-                    else:
-                        loss = self.model.loss(ctx.batch)
-                    ctx.loss_value = loss.item()
+                    loss = self._forward(ctx, runner)
                     ctx.skip_step = False
                     hooks.fire("on_loss_computed", ctx)
                     if ctx.skip_step:
                         continue
-                    self.optimizer.zero_grad()
-                    if runner is not None:
-                        runner.backward(loss)
-                    else:
-                        loss.backward()
+                    self._backward(ctx, runner, loss)
                     hooks.fire("on_backward_end", ctx)
                     if self.config.grad_clip is not None:
                         clip_global_norm(
@@ -236,6 +229,39 @@ class TrainingEngine:
         hooks.fire("on_fit_end", ctx)
         self.model.eval()
         return ctx.history
+
+    # -- the step kernel (overridden by the sharded engine) ------------
+    def _enter_fit(self, ctx: TrainingContext, stack: contextlib.ExitStack) -> None:
+        """Acquire per-fit resources on ``ctx.stack`` (base: none).
+
+        The sharded engine starts its worker pool here, so pool
+        teardown rides the same ``ExitStack`` that unwinds the sparse-
+        gradient and trusted-index modes -- including on exceptions.
+        """
+
+    def _forward(self, ctx: TrainingContext, runner: Optional[PlanRunner]):
+        """Compute the batch loss; sets ``ctx.loss_value``.
+
+        Returns an opaque handle passed back to :meth:`_backward` (the
+        live loss tensor here; the sharded engine returns ``None`` and
+        stashes aggregated gradients instead).
+        """
+        if runner is not None:
+            loss = runner.forward(ctx.batch)
+        else:
+            loss = self.model.loss(ctx.batch)
+        ctx.loss_value = loss.item()
+        return loss
+
+    def _backward(
+        self, ctx: TrainingContext, runner: Optional[PlanRunner], loss
+    ) -> None:
+        """Populate every parameter's ``.grad`` for the pending step."""
+        self.optimizer.zero_grad()
+        if runner is not None:
+            runner.backward(loss)
+        else:
+            loss.backward()
 
     # -- resume plumbing -----------------------------------------------
     def _resolve_resume(self, resume_from: "Path | str") -> TrainingSnapshot:
@@ -270,18 +296,49 @@ class TrainingEngine:
         passes; capturing them makes resumed training bit-exact even
         when such layers are active.
         """
-        rngs: List[np.random.Generator] = []
-        seen = set()
-        for module in self.model.modules():
-            for name in sorted(vars(module)):
-                value = vars(module)[name]
-                if isinstance(value, np.random.Generator) and id(value) not in seen:
-                    seen.add(id(value))
-                    rngs.append(value)
-        return rngs
+        return collect_module_rngs(self.model)
+
+
+def collect_module_rngs(model: MultiTaskModel) -> List[np.random.Generator]:
+    """Every generator held by ``model``'s modules, in stable order.
+
+    Shared by the engine (checkpointing RNG states) and the parallel
+    workers (reseeding their forked copies per shard so dropout draws
+    are venue-independent).
+    """
+    rngs: List[np.random.Generator] = []
+    seen = set()
+    for module in model.modules():
+        for name in sorted(vars(module)):
+            value = vars(module)[name]
+            if isinstance(value, np.random.Generator) and id(value) not in seen:
+                seen.add(id(value))
+                rngs.append(value)
+    return rngs
 
 
 # ----------------------------------------------------------------------
+def create_engine(
+    model: MultiTaskModel,
+    config: TrainConfig,
+    optimizer: Optional[Optimizer] = None,
+    callbacks: Sequence[Callback] = (),
+) -> TrainingEngine:
+    """Engine factory: the sharded engine when parallel knobs are set.
+
+    ``num_workers``/``num_shards`` unset returns the plain
+    :class:`TrainingEngine` -- existing configs run the exact loop they
+    always did, golden-pinned.
+    """
+    if config.parallel_enabled:
+        from repro.training.parallel import ShardedTrainingEngine
+
+        return ShardedTrainingEngine(
+            model, config, optimizer=optimizer, callbacks=callbacks
+        )
+    return TrainingEngine(model, config, optimizer=optimizer, callbacks=callbacks)
+
+
 def fit_model(
     model: MultiTaskModel,
     train: "InteractionDataset | DataSource",
@@ -303,7 +360,7 @@ def fit_model(
     from repro.training.trainer import default_callbacks
 
     config = config or TrainConfig()
-    engine = TrainingEngine(model, config)
+    engine = create_engine(model, config)
     stack = default_callbacks(config, reliability) + list(callbacks)
     return engine.fit(
         train, validation=validation, resume_from=resume_from, callbacks=stack

@@ -47,7 +47,7 @@ from repro.training.callbacks import (
     ValidationCallback,
 )
 from repro.training.config import TrainConfig
-from repro.training.engine import TrainingEngine
+from repro.training.engine import create_engine
 from repro.training.history import TrainingHistory
 
 __all__ = ["Trainer", "TrainingHistory", "default_callbacks"]
@@ -113,7 +113,7 @@ class Trainer:
             weight_decay=config.weight_decay,
         )
         self.extra_callbacks: List[Callback] = list(callbacks)
-        self.engine = TrainingEngine(model, config, optimizer=self.optimizer)
+        self.engine = create_engine(model, config, optimizer=self.optimizer)
 
     # ------------------------------------------------------------------
     def fit(
