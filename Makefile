@@ -1,6 +1,6 @@
 # Convenience targets for the DCMT reproduction.
 
-.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest verify-lifecycle verify-fleet verify-plan verify-stream verify-parallel
+.PHONY: install test bench bench-all report quickstart lint lint-clean verify verify-robustness verify-callbacks verify-ingest verify-lifecycle verify-fleet verify-plan verify-stream verify-parallel verify-month
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,7 +21,7 @@ lint:
 # The CI gate: lint, the robustness, ingest, lifecycle, fleet, and
 # plan lanes, then the full tier-1 suite from a clean checkout --
 # every PR runs all of it.
-verify: lint verify-robustness verify-ingest verify-lifecycle verify-fleet verify-plan verify-stream verify-parallel
+verify: lint verify-robustness verify-ingest verify-lifecycle verify-fleet verify-plan verify-stream verify-parallel verify-month
 	PYTHONPATH=src python -m pytest -x -q tests/
 
 # Every test tagged `robustness`: degenerate-batch hardening plus the
@@ -67,6 +67,12 @@ verify-stream:
 # supervision, graceful shard degradation, trainer chaos drills).
 verify-parallel:
 	PYTHONPATH=src pytest -m parallel tests/
+
+# Every test tagged `month`: the deterministic production-month
+# simulation (seeded drift schedules, transcript bit-identity,
+# confounder-shift detection, managed-vs-strawmen oracle regret).
+verify-month:
+	PYTHONPATH=src pytest -m month tests/
 
 # Throughput-only benches (dense/sparse training + inference); writes
 # BENCH_throughput.json at the repo root with measured rows/s, the

@@ -1,0 +1,103 @@
+"""Production-month simulation throughput.
+
+One timed smoke-scale managed month (two tenants, eight days --
+the same shape the ``month`` test lane pins for correctness), reported
+as simulated days/second.  The measurement is appended to the
+``history`` trajectory in ``BENCH_throughput.json`` alongside the
+engine benches, together with the run's shed-page and rollback counts
+-- a month that got faster by shedding traffic or thrashing promotions
+is not faster.
+"""
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.simulation.month import MonthConfig, run_month
+
+pytestmark = pytest.mark.perf
+
+_REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_throughput.json"
+
+#: The smoke month (mirrors ``tests/simulation/test_month.py``).
+MONTH_CONFIG = MonthConfig(
+    tenants=("ae_es", "alipay_search"),
+    days=8,
+    seed=7,
+    n_users=160,
+    n_items=220,
+    bootstrap_rows=1500,
+    pages_per_day=40,
+    candidates_per_page=16,
+    page_size=5,
+    eval_rows=400,
+    canary_pages=40,
+    epochs=3,
+    retrain_every_days=4,
+    train_window_days=6,
+    exploration_rows_per_day=120,
+    reference_rows=400,
+    calibration_min_samples=150,
+    calibration_window=600,
+)
+
+
+def test_month_throughput(benchmark, tmp_path):
+    """Time one managed smoke month and append the lane to the report."""
+    reports = []
+
+    def one_month():
+        reports.append(
+            run_month(MONTH_CONFIG, workdir=tmp_path / f"m{len(reports)}")
+        )
+
+    benchmark.pedantic(one_month, rounds=1, iterations=1)
+    report = reports[0]
+    elapsed = benchmark.stats["median"]
+    days_per_s = (MONTH_CONFIG.days * len(MONTH_CONFIG.tenants)) / elapsed
+    shed = sum(int(s.get("shed", 0)) for s in report.tenant_summary.values())
+    rollbacks = sum(
+        int(s.get("rollbacks", 0)) for s in report.tenant_summary.values()
+    )
+    lane = {
+        "tenants": len(MONTH_CONFIG.tenants),
+        "days": MONTH_CONFIG.days,
+        "tenant_days_per_s": round(days_per_s, 2),
+        "shed_pages": shed,
+        "rollbacks": rollbacks,
+        "total_regret": round(report.total_regret, 4),
+    }
+    print(
+        f"\nmonth throughput: {days_per_s:.2f} tenant-days/s "
+        f"(shed={shed} rollbacks={rollbacks})"
+    )
+
+    # Append to the shared throughput report without disturbing the
+    # engine lanes: the month lane rides the ``history`` trajectory and
+    # a top-level ``month`` block.
+    try:
+        existing = json.loads(_REPORT_PATH.read_text())
+    except (OSError, json.JSONDecodeError):
+        existing = {}
+    history = existing.get("history")
+    if not isinstance(history, list):
+        history = []
+    history.append(
+        {
+            "timestamp": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "month": lane,
+        }
+    )
+    existing["month"] = lane
+    existing["history"] = history
+    _REPORT_PATH.write_text(json.dumps(existing, indent=2) + "\n")
+
+    # A floor loose enough for CI boxes, tight enough to catch the
+    # month accidentally becoming quadratic in days or tenants.
+    assert days_per_s > 0.5
+    # The smoke month must not degrade into load shedding to go fast.
+    assert shed < MONTH_CONFIG.days * MONTH_CONFIG.pages_per_day

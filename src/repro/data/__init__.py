@@ -44,9 +44,21 @@ from repro.data.ingest import (
     QuarantineStore,
     QuarantinedRow,
     load_csv_dataset_quarantined,
+    quarantine_oov_rows,
+)
+from repro.data.drift_schedule import (
+    DriftEvent,
+    DriftSchedulePolicy,
+    build_drift_schedule,
+    config_for_day,
 )
 
 __all__ = [
+    "DriftEvent",
+    "DriftSchedulePolicy",
+    "build_drift_schedule",
+    "config_for_day",
+    "quarantine_oov_rows",
     "IngestBudgetError",
     "IngestPolicy",
     "IngestReport",

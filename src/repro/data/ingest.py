@@ -465,3 +465,62 @@ def load_csv_dataset_quarantined(
         conversions=conversions,
     )
     return IngestResult(dataset, vocabularies, dense_stats, report, store)
+
+
+# ----------------------------------------------------------------------
+# In-memory OOV quarantine (the catalog-churn path)
+# ----------------------------------------------------------------------
+def quarantine_oov_rows(
+    dataset: InteractionDataset,
+    vocab_sizes: Dict[str, int],
+    store: Optional[QuarantineStore] = None,
+) -> Tuple[InteractionDataset, Optional[InteractionDataset], QuarantineStore]:
+    """Split an already-materialised log by vocabulary membership.
+
+    The CSV quarantine path classifies OOV ids at parse time; online
+    logging produces :class:`InteractionDataset` rows directly, so
+    catalog churn (new item ids entering the world) needs the same
+    gate *after* materialisation.  Rows whose sparse ids fit every
+    ``vocab_sizes`` entry are admitted; rows referencing an id at or
+    beyond its vocabulary are **held** -- quarantined with the standard
+    :data:`OOV_ID` provenance, not dropped -- so that growing the
+    embedding vocabulary can re-admit exactly these rows later.
+
+    Returns ``(admitted, held, store)``; ``held`` is ``None`` when the
+    log is fully in-vocabulary.  Columns absent from ``vocab_sizes``
+    are not checked.
+    """
+    store = store or QuarantineStore()
+    n = len(dataset)
+    oov = np.zeros(n, dtype=bool)
+    per_column: Dict[str, np.ndarray] = {}
+    for column, vocab in vocab_sizes.items():
+        ids = dataset.sparse.get(column)
+        if ids is None:
+            continue
+        bad = (ids < 0) | (ids >= int(vocab))
+        if bad.any():
+            per_column[column] = bad
+            oov |= bad
+    if not oov.any():
+        return dataset, None, store
+    held_idx = np.flatnonzero(oov)
+    for i in held_idx:
+        columns = sorted(c for c, bad in per_column.items() if bad[i])
+        store.add(
+            int(i),
+            (OOV_ID,),
+            "held",
+            tuple(f"{c}={int(dataset.sparse[c][i])}" for c in columns),
+        )
+    log_event(
+        logger,
+        "oov_rows_quarantined",
+        level=30,
+        held=int(len(held_idx)),
+        total=n,
+        columns=sorted(per_column),
+    )
+    admitted = dataset.subset(np.flatnonzero(~oov))
+    held = dataset.subset(held_idx)
+    return admitted, held, store

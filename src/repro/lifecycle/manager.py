@@ -38,7 +38,7 @@ from repro.lifecycle.canary import (
 from repro.lifecycle.gate import GatePolicy, GateReport, PromotionGate
 from repro.lifecycle.registry import ModelRegistry, ModelVersion
 from repro.models.base import MultiTaskModel
-from repro.reliability.drift import DriftReference, DriftSentinel
+from repro.reliability.drift import DriftReference, DriftSentinel, DriftThresholds
 from repro.simulation.serving import RankingService
 from repro.utils.logging import get_logger, log_event
 
@@ -50,13 +50,13 @@ class LifecycleDecision:
     """One recorded lifecycle action (the audit transcript entry)."""
 
     version: str
-    action: str  # bootstrap / reject / stage / promote / demote / rollback
+    action: str  # bootstrap/reject/stage/promote/demote/rollback/adopt
     reason: str = ""
     gate: Optional[GateReport] = None
 
     @property
     def promoted(self) -> bool:
-        return self.action in ("bootstrap", "promote", "rollback")
+        return self.action in ("bootstrap", "promote", "rollback", "adopt")
 
 
 @dataclass
@@ -75,11 +75,18 @@ class ModelLifecycleManager:
         model_factory: Callable[[], MultiTaskModel],
         gate: Optional[PromotionGate] = None,
         canary_policy: Optional[CanaryPolicy] = None,
+        canary_drift_thresholds: Optional[DriftThresholds] = None,
     ) -> None:
         self.registry = registry
         self.model_factory = model_factory
         self.gate = gate or PromotionGate(GatePolicy())
         self.canary_policy = canary_policy or CanaryPolicy()
+        #: Thresholds for the candidate arm's drift sentinel.  A
+        #: candidate retrained on *fresher* data than the champion
+        #: legitimately predicts differently from the champion's frozen
+        #: reference -- deployments that retrain on drifted traffic
+        #: loosen this so adaptation itself does not read as a fault.
+        self.canary_drift_thresholds = canary_drift_thresholds
         self.decisions: List[LifecycleDecision] = []
         self._staged: Optional[_StagedCandidate] = None
         #: In-memory drift references per version (champion's reference
@@ -187,6 +194,38 @@ class ModelLifecycleManager:
         )
         return self._decide(entry.version, "stage", report.summary(), report)
 
+    def adopt(
+        self,
+        model: MultiTaskModel,
+        *,
+        train_config=None,
+        reference: Optional[DriftReference] = None,
+        note: str = "",
+        reason: str = "adopted without gate review",
+    ) -> LifecycleDecision:
+        """Publish and promote unconditionally (registry surgery).
+
+        The gate/canary pipeline exists to stop *behavioural* changes
+        from taking traffic unreviewed.  Some swaps are not behavioural:
+        growing an embedding vocabulary after catalog churn appends
+        zero rows to the champion's own parameters -- every existing id
+        scores bit-identically, the new ids *must* be servable now, and
+        holding the grown copy behind a canary would leave the serving
+        fleet unable to score the new catalog in the meantime.  This
+        records the swap on the audit trail as an ``adopt`` decision so
+        the transcript still shows exactly when and why the champion's
+        blob changed.
+        """
+        entry = self.registry.publish(
+            model, train_config=train_config, note=note
+        )
+        if reference is not None:
+            self._references[entry.version] = reference
+        self.registry.promote(entry.version, reason)
+        self._invalidate_champion_cache()
+        self._staged = None
+        return self._decide(entry.version, "adopt", reason)
+
     @property
     def staged_version(self) -> Optional[str]:
         return None if self._staged is None else self._staged.version
@@ -218,7 +257,9 @@ class ModelLifecycleManager:
             raise RuntimeError("cannot canary without a serving champion")
         reference = self.champion_reference()
         sentinel = (
-            None if reference is None else DriftSentinel(reference)
+            None
+            if reference is None
+            else DriftSentinel(reference, thresholds=self.canary_drift_thresholds)
         )
         if fleet is not None:
             champion_version = self.registry.champion.version

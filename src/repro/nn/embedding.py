@@ -75,6 +75,27 @@ class Embedding(Module):
             init.normal((num_embeddings, dim), rng, std=std), name="embedding"
         )
 
+    def grow(self, extra_rows: int) -> None:
+        """Extend the vocabulary by ``extra_rows`` zero-initialised rows.
+
+        This is the catalog-churn path: newly quarantined OOV ids are
+        admitted by appending rows, never by touching existing ones, so
+        every old id keeps its exact learned vector.  The append rebinds
+        ``weight.data``, which a compiled execution plan detects as a
+        parameter rebind and answers with invalidate + re-trace (see
+        ``repro.autograd.plan``); zero init means a grown model scores
+        unseen items from the shared towers alone until a retrain fills
+        the rows in.
+        """
+        if extra_rows < 1:
+            raise ValueError(f"extra_rows must be >= 1, got {extra_rows}")
+        extra = np.zeros(
+            (extra_rows,) + self.weight.data.shape[1:],
+            dtype=self.weight.data.dtype,
+        )
+        self.weight.data = np.concatenate([self.weight.data, extra])
+        self.num_embeddings += extra_rows
+
     def forward(self, indices: np.ndarray) -> Tensor:
         """Gather embedding rows for integer ``indices`` of any shape."""
         idx = np.asarray(indices)

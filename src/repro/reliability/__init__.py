@@ -41,6 +41,8 @@ from repro.reliability.config import (
     ServingPolicy,
 )
 from repro.reliability.drift import (
+    CalibrationMonitor,
+    CalibrationThresholds,
     DriftMonitor,
     DriftReference,
     DriftSentinel,
@@ -99,6 +101,8 @@ from repro.reliability.guards import (
 
 __all__ = [
     "AdmissionPolicy",
+    "CalibrationMonitor",
+    "CalibrationThresholds",
     "ChaosScoring",
     "DriftMonitor",
     "DriftReference",

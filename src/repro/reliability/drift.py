@@ -41,14 +41,17 @@ STATUS_TRIP = "trip"
 _SEVERITY = {STATUS_OK: 0, STATUS_WARN: 1, STATUS_TRIP: 2}
 
 
-def population_stability_index(
-    expected: np.ndarray, actual: np.ndarray, eps: float = 1e-4
-) -> float:
-    """PSI between two histograms over identical bins.
+def _histogram_shares(
+    expected: np.ndarray, actual: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Validate two histograms over identical bins and normalise them.
 
-    Bin shares are floored at ``eps`` (then renormalised) so empty bins
-    do not produce infinities; < 0.1 is conventionally stable, 0.1-0.25
-    moderate shift, > 0.25 a significant shift.
+    A histogram with zero total mass has no distribution to compare --
+    dividing by its (zero) total would silently manufacture one out of
+    the epsilon floor.  That happens in practice when a degenerate
+    reference (constant feature column collapsed to zero-width bins by
+    a hand-built or legacy JSON payload) is binned: every count lands
+    nowhere.  Refuse loudly instead of returning garbage.
     """
     expected = np.asarray(expected, dtype=float)
     actual = np.asarray(actual, dtype=float)
@@ -56,24 +59,50 @@ def population_stability_index(
         raise ValueError(
             f"histogram shapes differ: {expected.shape} vs {actual.shape}"
         )
-    e = np.clip(expected / max(expected.sum(), 1e-12), eps, None)
-    a = np.clip(actual / max(actual.sum(), 1e-12), eps, None)
+    e_total, a_total = expected.sum(), actual.sum()
+    if e_total <= 0 or a_total <= 0:
+        raise ValueError(
+            "histogram has zero total mass (degenerate zero-width bins?); "
+            f"expected.sum()={e_total:g} actual.sum()={a_total:g}"
+        )
+    return expected / e_total, actual / a_total
+
+
+def population_stability_index(
+    expected: np.ndarray, actual: np.ndarray, eps: float = 1e-4
+) -> float:
+    """PSI between two histograms over identical bins.
+
+    Bin shares are floored at ``eps`` (then renormalised) so empty bins
+    do not produce infinities; < 0.1 is conventionally stable, 0.1-0.25
+    moderate shift, > 0.25 a significant shift.  Raises ``ValueError``
+    on an all-zero histogram (see :func:`_histogram_shares`).
+    """
+    e, a = _histogram_shares(expected, actual)
+    e = np.clip(e, eps, None)
+    a = np.clip(a, eps, None)
     e /= e.sum()
     a /= a.sum()
     return float(np.sum((a - e) * np.log(a / e)))
 
 
 def ks_statistic(expected: np.ndarray, actual: np.ndarray) -> float:
-    """Max CDF gap between two histograms over identical bins."""
-    expected = np.asarray(expected, dtype=float)
-    actual = np.asarray(actual, dtype=float)
-    if expected.shape != actual.shape:
-        raise ValueError(
-            f"histogram shapes differ: {expected.shape} vs {actual.shape}"
-        )
-    e = np.cumsum(expected) / max(expected.sum(), 1e-12)
-    a = np.cumsum(actual) / max(actual.sum(), 1e-12)
-    return float(np.max(np.abs(e - a)))
+    """Max CDF gap between two histograms over identical bins.
+
+    Raises ``ValueError`` on an all-zero histogram rather than dividing
+    by zero mass (see :func:`_histogram_shares`).
+    """
+    e, a = _histogram_shares(expected, actual)
+    return float(np.max(np.abs(np.cumsum(e) - np.cumsum(a))))
+
+
+def _widen_degenerate_range(lo: float, hi: float) -> "tuple[float, float]":
+    """Open up a zero-width value range so histogram edges stay strictly
+    increasing (a constant feature column otherwise collapses every bin
+    to width zero and binning divides by nothing)."""
+    if lo == hi:
+        return lo - 0.5, hi + 0.5
+    return lo, hi
 
 
 @dataclass
@@ -98,10 +127,9 @@ class ReferenceDistribution:
             raise ValueError(f"{name}: no finite reference samples")
         if value_range is None:
             lo, hi = float(values.min()), float(values.max())
-            if lo == hi:  # degenerate column: widen so histogram works
-                lo, hi = lo - 0.5, hi + 0.5
         else:
             lo, hi = float(value_range[0]), float(value_range[1])
+        lo, hi = _widen_degenerate_range(lo, hi)
         edges = np.linspace(lo, hi, bins + 1)
         counts, _ = np.histogram(np.clip(values, lo, hi), bins=edges)
         return cls(name=name, edges=edges, counts=counts.astype(float))
@@ -128,9 +156,30 @@ class ReferenceDistribution:
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "ReferenceDistribution":
+        """Rebuild from JSON, repairing degenerate zero-width edges.
+
+        References captured before the constant-column widening (or
+        hand-built payloads) can carry edges that collapsed to a single
+        value; re-spreading them around that value keeps the round trip
+        loadable and the monitors' PSI/KS finite instead of dividing by
+        zero-mass histograms.
+        """
+        edges = np.asarray(payload["edges"], dtype=float)
+        if len(edges) < 2:
+            raise ValueError(
+                f"{payload['name']}: need at least 2 histogram edges"
+            )
+        if edges[0] == edges[-1]:  # zero-width legacy/degenerate payload
+            lo, hi = _widen_degenerate_range(float(edges[0]), float(edges[-1]))
+            edges = np.linspace(lo, hi, len(edges))
+        elif np.any(np.diff(edges) <= 0):
+            raise ValueError(
+                f"{payload['name']}: histogram edges must be strictly "
+                "increasing"
+            )
         return cls(
             name=payload["name"],
-            edges=np.asarray(payload["edges"], dtype=float),
+            edges=edges,
             counts=np.asarray(payload["counts"], dtype=float),
         )
 
@@ -349,3 +398,154 @@ class DriftSentinel:
     def reset(self) -> None:
         for monitor in self.monitors.values():
             monitor.reset()
+
+
+# ----------------------------------------------------------------------
+# Outcome calibration (the confounder-shift detector)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CalibrationThresholds:
+    """Warn/trip levels for the prediction-vs-outcome gap."""
+
+    gap_warn: float = 0.02
+    gap_trip: float = 0.05
+    #: Pairs required before the gap is trusted (binary outcomes make
+    #: small windows pure noise).
+    min_samples: int = 200
+
+    def __post_init__(self) -> None:
+        if not 0 < self.gap_warn <= self.gap_trip:
+            raise ValueError("need 0 < gap_warn <= gap_trip")
+        if self.min_samples < 1:
+            raise ValueError(
+                f"min_samples must be >= 1, got {self.min_samples}"
+            )
+
+
+class CalibrationMonitor:
+    """Sliding-window ``|E[prediction] - E[outcome]|`` gap.
+
+    A *hidden-confounder* shift is invisible to every feature-space
+    monitor: the observable feature distribution and the model's
+    prediction distribution both stay put, because what changed is the
+    unobserved attention variable ``h`` inside ``p(o=1 | x, h)``
+    (Section I-C of the paper; the non-stationarity warning of the
+    Twitter entire-space analysis).  What *does* move is realised
+    behaviour against the model's calibrated expectations: the clicks
+    and conversions that actually happen stop matching the
+    probabilities the model assigns to them.  This monitor pairs each
+    prediction with its realised binary outcome and trips when the
+    windowed mean gap exceeds the threshold -- the label-aware
+    complement to :class:`DriftSentinel`'s label-free PSI/KS.
+
+    On a *served* (model-selected) slice the raw gap carries a large
+    steady-state offset that is not drift: ranking by predicted score
+    selects rows whose predictions overshoot their outcomes (the
+    winner's curse), so ``E[prediction] - E[outcome]`` sits well above
+    zero from the champion's first page onward.  ``auto_baseline=True``
+    handles that slice honestly: the first time the window fills to
+    ``min_samples`` the monitor freezes the current gap as the
+    champion's own launch calibration and thereafter alerts on the
+    *deviation* from it (:meth:`drift`), so only the world moving --
+    not the selection effect -- can trip it.  :meth:`reset` clears the
+    baseline along with the window, so every promotion re-baselines.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        thresholds: Optional[CalibrationThresholds] = None,
+        window: int = 4096,
+        auto_baseline: bool = False,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.name = name
+        self.thresholds = thresholds or CalibrationThresholds()
+        self.auto_baseline = auto_baseline
+        self._baseline: Optional[float] = None
+        self._predicted: deque = deque(maxlen=window)
+        self._observed: deque = deque(maxlen=window)
+
+    @property
+    def n_observed(self) -> int:
+        return len(self._predicted)
+
+    def observe(self, predicted: np.ndarray, outcomes: np.ndarray) -> None:
+        """Feed aligned (prediction, realised outcome) pairs."""
+        predicted = np.asarray(predicted, dtype=float).ravel()
+        outcomes = np.asarray(outcomes, dtype=float).ravel()
+        if predicted.shape != outcomes.shape:
+            raise ValueError(
+                f"predicted/outcomes shapes differ: {predicted.shape} vs "
+                f"{outcomes.shape}"
+            )
+        keep = np.isfinite(predicted) & np.isfinite(outcomes)
+        self._predicted.extend(predicted[keep].tolist())
+        self._observed.extend(outcomes[keep].tolist())
+
+    def reset(self, keep_baseline: bool = False) -> None:
+        """Clear the window (and, by default, the frozen baseline).
+
+        ``keep_baseline=True`` supports the promotion/rollback dance: a
+        freshly promoted champion is judged against the *previous*
+        champion's steady-state gap for its grace period (a healthy
+        successor lands near it; a broken one deviates and trips), and
+        only re-baselines once it survives.
+        """
+        self._predicted.clear()
+        self._observed.clear()
+        if not keep_baseline:
+            self._baseline = None
+
+    def gap(self) -> float:
+        """Signed windowed ``E[prediction] - E[outcome]``."""
+        if not self._predicted:
+            return 0.0
+        return float(
+            np.mean(np.array(self._predicted)) - np.mean(np.array(self._observed))
+        )
+
+    @property
+    def baseline(self) -> Optional[float]:
+        return self._baseline
+
+    def rebase(self) -> float:
+        """Freeze the current gap as the zero point for :meth:`drift`."""
+        self._baseline = self.gap()
+        return self._baseline
+
+    def drift(self) -> float:
+        """Signed gap relative to the baseline (raw gap if unset)."""
+        if self._baseline is None:
+            return self.gap()
+        return self.gap() - self._baseline
+
+    def status(self) -> str:
+        t = self.thresholds
+        if self.n_observed < t.min_samples:
+            return STATUS_OK
+        if self.auto_baseline and self._baseline is None:
+            # First full window after a reset IS the reference point.
+            self.rebase()
+            return STATUS_OK
+        gap = abs(self.drift())
+        if gap >= t.gap_trip:
+            return STATUS_TRIP
+        if gap >= t.gap_warn:
+            return STATUS_WARN
+        return STATUS_OK
+
+    @property
+    def tripped(self) -> bool:
+        return self.status() == STATUS_TRIP
+
+    def snapshot(self) -> Dict:
+        return {
+            "name": self.name,
+            "n": self.n_observed,
+            "gap": self.gap(),
+            "baseline": self._baseline,
+            "drift": self.drift(),
+            "status": self.status(),
+        }

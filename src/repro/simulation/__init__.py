@@ -57,6 +57,24 @@ _FEEDBACK_EXPORTS = (
     "FeedbackLoopExperiment",
     "RoundMetrics",
     "delayed_feedback_weights",
+    "lifecycle_retrain_view",
+)
+
+# The production-month simulator sits above the lifecycle package too,
+# so it rides the same lazy-export path.
+_MONTH_EXPORTS = (
+    "ALL_TENANTS",
+    "ALWAYS_PROMOTE",
+    "MANAGED",
+    "MODES",
+    "NEVER_RETRAIN",
+    "MonthComparison",
+    "MonthConfig",
+    "MonthEvent",
+    "MonthReport",
+    "MonthSimulation",
+    "compare_month_policies",
+    "run_month",
 )
 
 
@@ -65,6 +83,10 @@ def __getattr__(name):
         from repro.simulation import feedback
 
         return getattr(feedback, name)
+    if name in _MONTH_EXPORTS:
+        from repro.simulation import month
+
+        return getattr(month, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -92,4 +114,17 @@ __all__ = [
     "FeedbackLoopExperiment",
     "RoundMetrics",
     "delayed_feedback_weights",
+    "lifecycle_retrain_view",
+    "ALL_TENANTS",
+    "ALWAYS_PROMOTE",
+    "MANAGED",
+    "MODES",
+    "NEVER_RETRAIN",
+    "MonthComparison",
+    "MonthConfig",
+    "MonthEvent",
+    "MonthReport",
+    "MonthSimulation",
+    "compare_month_policies",
+    "run_month",
 ]

@@ -382,6 +382,37 @@ def delayed_feedback_weights(
     return weights
 
 
+def lifecycle_retrain_view(
+    scenario: SyntheticScenario,
+    log: InteractionDataset,
+    now: float,
+    *,
+    correction: str = "importance",
+    weight_cap: float = 20.0,
+) -> InteractionDataset:
+    """The training view a lifecycle retrain should fit on at time ``now``.
+
+    This is the delayed-feedback correction wired into the retrain
+    path proper: the log is censored to what an observer at ``now``
+    has actually seen (unmatured conversions look negative), and --
+    under ``correction="importance"`` -- every observed conversion is
+    importance-weighted by its inverse maturation probability so the
+    early arrivals stand in for their still-censored siblings.  The
+    weights ride :attr:`repro.data.dataset.Batch.weights` into the
+    weight-aware losses.  ``correction="none"`` is the censored-naive
+    strawman (train on the censored labels as-is).
+    """
+    if correction not in ("none", "importance"):
+        raise ValueError(
+            f"correction must be 'none' or 'importance', got {correction!r}"
+        )
+    view = log.censored_as_of(now)
+    if correction == "importance":
+        weights = delayed_feedback_weights(scenario, view, now, weight_cap)
+        view = replace(view, weights=weights)
+    return view
+
+
 class DelayedFeedbackExperiment:
     """Retrain rounds over an aging, censored conversion log.
 
@@ -417,13 +448,13 @@ class DelayedFeedbackExperiment:
     ) -> InteractionDataset:
         """The training view for observation time ``now`` (weights set
         per the configured correction)."""
-        view = log.censored_as_of(now)
-        if self.config.correction == "importance":
-            weights = delayed_feedback_weights(
-                self.scenario, view, now, self.config.weight_cap
-            )
-            view = replace(view, weights=weights)
-        return view
+        return lifecycle_retrain_view(
+            self.scenario,
+            log,
+            now,
+            correction=self.config.correction,
+            weight_cap=self.config.weight_cap,
+        )
 
     def run(
         self, log: InteractionDataset, test_set: InteractionDataset

@@ -138,6 +138,61 @@ class FleetStats:
     by_replica: Dict[str, int] = field(default_factory=dict)
     #: Per-served-request latency samples (seconds, fleet clock).
     latencies_s: List[float] = field(default_factory=list)
+    #: Change-points of the fleet's health picture: one entry per
+    #: request index at which the fleet state *or* any replica's state
+    #: differed from the previous entry, as ``{"request": i, "fleet":
+    #: state, "replicas": {name: state}}``.  This is the single surface
+    #: a dashboard (or the month report) reads to plot
+    #: HEALTHY/DEGRADED/SHEDDING spans without scraping the event
+    #: transcript; :meth:`health_spans` renders it as intervals.
+    health_timeline: List[Dict[str, object]] = field(default_factory=list)
+
+    def record_health(
+        self, request: int, fleet_state: str, replica_states: Dict[str, str]
+    ) -> None:
+        """Append a timeline entry iff the health picture changed."""
+        if self.health_timeline:
+            last = self.health_timeline[-1]
+            if (
+                last["fleet"] == fleet_state
+                and last["replicas"] == replica_states
+            ):
+                return
+        self.health_timeline.append(
+            {
+                "request": request,
+                "fleet": fleet_state,
+                "replicas": dict(replica_states),
+            }
+        )
+
+    def health_spans(
+        self, end_request: Optional[int] = None
+    ) -> List[Dict[str, object]]:
+        """The timeline as half-open ``[start, end)`` request spans.
+
+        ``end_request`` closes the final span (defaults to the request
+        counter); each span carries the fleet state and the replica
+        states that held throughout it.
+        """
+        if end_request is None:
+            end_request = self.requests
+        spans: List[Dict[str, object]] = []
+        for i, entry in enumerate(self.health_timeline):
+            end = (
+                self.health_timeline[i + 1]["request"]
+                if i + 1 < len(self.health_timeline)
+                else end_request
+            )
+            spans.append(
+                {
+                    "start": entry["request"],
+                    "end": end,
+                    "fleet": entry["fleet"],
+                    "replicas": dict(entry["replicas"]),
+                }
+            )
+        return spans
 
     def record(self, source: str, served_by: str) -> None:
         self.served += 1
@@ -526,6 +581,14 @@ class ServingFleet:
         request_index = self.stats.requests
         self.stats.requests += 1
         state = self._update_health()
+        self.stats.record_health(
+            request_index,
+            state,
+            {
+                r.name: (r.service.health.state if r.alive else "down")
+                for r in self.replicas
+            },
+        )
         deadline = Deadline(
             self.policy.deadline_s if deadline_s is None else deadline_s,
             self._clock,

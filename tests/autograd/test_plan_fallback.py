@@ -176,3 +176,109 @@ class TestUnsupportedOpFallback:
             loss.backward()
             expected.append(loss.item())
         assert losses == expected
+
+
+class TestQuarantineVocabGrowth:
+    """Catalog churn end to end under a compiled plan: OOV rows are
+    quarantined, the ``item_id`` embedding grows in place, held rows are
+    re-admitted, and the plan answers the parameter rebind with
+    invalidate + re-trace -- bit-exact against eager throughout."""
+
+    SERVING_VOCAB = 44  # the world has 50 items; ids 44..49 are churn
+
+    def _shrunk_schema(self, schema):
+        from dataclasses import replace as dc_replace
+
+        from repro.data.schema import FeatureSchema
+
+        sparse = [
+            dc_replace(f, vocab_size=self.SERVING_VOCAB)
+            if f.name == "item_id"
+            else f
+            for f in schema.sparse
+        ]
+        return FeatureSchema(sparse=sparse, dense=list(schema.dense))
+
+    def _models(self, train):
+        schema = self._shrunk_schema(train.schema)
+        return (
+            build_model("dcmt", schema, MODEL_CONFIG),
+            build_model("dcmt", schema, MODEL_CONFIG),
+        )
+
+    def test_quarantine_grow_readmit_retraces_bit_exact(self, world):
+        from repro.data.ingest import quarantine_oov_rows
+
+        train, _ = world
+        admitted, held, store = quarantine_oov_rows(
+            train, {"item_id": self.SERVING_VOCAB}
+        )
+        assert held is not None, "the world must contain churn ids"
+        assert len(admitted) + len(held) == len(train)
+        assert int(admitted.sparse["item_id"].max()) < self.SERVING_VOCAB
+        assert int(held.sparse["item_id"].min()) >= self.SERVING_VOCAB
+        assert len(store.rows) == len(held)
+
+        eager, planned = self._models(admitted)
+        runner = PlanRunner(planned, expected_batch_size=256)
+
+        def lockstep(dataset, rng_seed, n_batches):
+            batches = [
+                b
+                for b in batch_iterator(
+                    dataset, 256, rng=np.random.default_rng(rng_seed)
+                )
+                if b.clicks.shape[0] == 256
+            ][:n_batches]
+            for batch in batches:
+                for model in (eager, planned):
+                    for p in model.parameters():
+                        p.zero_grad()
+                le = eager.loss(batch)
+                lp = runner.forward(batch)
+                assert le.data == lp.data, "loss drifted from eager"
+                le.backward()
+                runner.backward(lp)
+            return len(batches)
+
+        pre = lockstep(admitted, rng_seed=5, n_batches=3)
+        assert runner.stats.traces == 1 and runner.stats.retraces == 0
+
+        # Churn lands: grow the serving vocabulary to the full catalog
+        # and re-admit exactly the held rows.
+        full_vocab = int(train.schema.vocab_sizes()["item_id"])
+        for model in (eager, planned):
+            model.embedding.tables["item_id"].grow(
+                full_vocab - self.SERVING_VOCAB
+            )
+        readmitted, still_held, _ = quarantine_oov_rows(
+            held, {"item_id": full_vocab}
+        )
+        assert still_held is None and len(readmitted) == len(held)
+
+        post = lockstep(train, rng_seed=7, n_batches=3)
+        assert runner.stats.retraces == 1, "rebind must invalidate the plan"
+        assert runner.stats.traces == 2, "next full batch must re-trace"
+        assert runner.stats.replays == pre + post - 2
+        assert not runner.disabled
+
+        for pe, pp in zip(eager.parameters(), planned.parameters()):
+            ge, gp = pe.grad, pp.grad
+            if ge is None:
+                assert gp is None
+                continue
+            if not isinstance(ge, np.ndarray):
+                ge, gp = ge.to_dense(), gp.to_dense()
+            assert (ge == gp).all(), "gradient drifted after churn retrace"
+
+    def test_grown_rows_are_zero_until_retrained(self, world):
+        train, _ = world
+        eager, _ = self._models(train)
+        table = eager.embedding.tables["item_id"]
+        before = table.weight.data.copy()
+        table.grow(6)
+        assert table.num_embeddings == self.SERVING_VOCAB + 6
+        np.testing.assert_array_equal(
+            table.weight.data[: self.SERVING_VOCAB], before
+        )
+        assert not table.weight.data[self.SERVING_VOCAB :].any()

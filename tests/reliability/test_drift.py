@@ -6,6 +6,8 @@ import pytest
 from repro.data import load_scenario
 from repro.models import ModelConfig, build_model
 from repro.reliability.drift import (
+    CalibrationMonitor,
+    CalibrationThresholds,
     DriftMonitor,
     DriftReference,
     DriftSentinel,
@@ -230,3 +232,156 @@ class TestDriftSentinel:
         assert report["propensity"]["status"] == "trip"
         sentinel.reset()
         assert sentinel.status() == "ok"
+
+
+class TestDegenerateReferenceRepair:
+    """JSON round trips survive zero-width-bin (constant-column) payloads."""
+
+    def test_constant_column_round_trips(self):
+        ref = ReferenceDistribution.from_samples("x", np.full(50, 3.0), bins=4)
+        back = ReferenceDistribution.from_dict(ref.to_dict())
+        assert np.all(np.diff(back.edges) > 0)
+        # PSI/KS against itself must be finite and zero-ish, not a
+        # zero-mass division.
+        assert population_stability_index(back.counts, back.counts) == 0.0
+        assert ks_statistic(back.counts, back.counts) == 0.0
+
+    def test_legacy_zero_width_edges_are_respread(self):
+        payload = {"name": "x", "edges": [3.0] * 5, "counts": [0, 50, 0, 0]}
+        back = ReferenceDistribution.from_dict(payload)
+        assert np.all(np.diff(back.edges) > 0)
+        assert back.histogram(np.full(10, 3.0)).sum() == 10
+
+    def test_non_monotone_edges_rejected(self):
+        payload = {"name": "x", "edges": [0.0, 2.0, 1.0], "counts": [1, 1]}
+        with pytest.raises(ValueError, match="strictly"):
+            ReferenceDistribution.from_dict(payload)
+
+    def test_too_few_edges_rejected(self):
+        with pytest.raises(ValueError, match="at least 2"):
+            ReferenceDistribution.from_dict(
+                {"name": "x", "edges": [1.0], "counts": []}
+            )
+
+    def test_zero_mass_histogram_guard(self):
+        zeros = np.zeros(4)
+        ones = np.ones(4)
+        with pytest.raises(ValueError, match="zero total mass"):
+            population_stability_index(zeros, ones)
+        with pytest.raises(ValueError, match="zero total mass"):
+            ks_statistic(ones, zeros)
+
+    def test_full_reference_round_trip_with_constant_dense(self, tmp_path):
+        """A DriftReference captured over a constant dense column loads
+        back and produces finite monitor statistics."""
+        train, model = trained_world_with_constant_column()
+        ref = DriftReference.capture(model, train, sample=256, seed=0)
+        path = ref.save(tmp_path / "ref.json")
+        back = DriftReference.load(path)
+        sentinel = DriftSentinel(back, DriftThresholds(min_samples=1))
+        sentinel.observe(dense={"const_col": np.full(64, 7.0)})
+        snap = sentinel.report()["dense:const_col"]
+        assert np.isfinite(snap["psi"]) and np.isfinite(snap["ks"])
+
+
+def trained_world_with_constant_column():
+    train, _, _ = load_scenario(
+        "ae_es", n_users=30, n_items=40, n_train=600, n_test=100
+    )
+    train.dense["const_col"] = np.full(len(train), 7.0)
+    model = build_model(
+        "dcmt", train.schema, ModelConfig(embedding_dim=4, hidden_sizes=(8,), seed=0)
+    )
+    return train, model
+
+
+class TestCalibrationMonitor:
+    def make(self, auto_baseline=False, **kw):
+        thresholds = CalibrationThresholds(
+            gap_warn=0.02, gap_trip=0.05, min_samples=kw.pop("min_samples", 100)
+        )
+        return CalibrationMonitor(
+            "ctr", thresholds, window=kw.pop("window", 500),
+            auto_baseline=auto_baseline,
+        )
+
+    def test_silent_below_min_samples(self):
+        monitor = self.make()
+        monitor.observe(np.full(50, 0.9), np.zeros(50))
+        assert monitor.status() == "ok"
+
+    def test_gap_is_signed_mean_difference(self):
+        monitor = self.make()
+        monitor.observe(np.full(200, 0.30), np.zeros(200))
+        assert monitor.gap() == pytest.approx(0.30)
+        assert monitor.status() == "trip"
+
+    def test_calibrated_predictions_stay_ok(self):
+        rng = np.random.default_rng(0)
+        monitor = self.make()
+        p = rng.uniform(0.2, 0.4, 400)
+        monitor.observe(p, (rng.random(400) < p).astype(float))
+        assert monitor.status() in ("ok", "warn")
+
+    def test_shape_mismatch_rejected(self):
+        monitor = self.make()
+        with pytest.raises(ValueError, match="shapes differ"):
+            monitor.observe(np.ones(3), np.ones(4))
+
+    def test_auto_baseline_absorbs_selection_offset(self):
+        """A steady +0.2 selection gap must not trip; a later deviation
+        from that baseline must."""
+        monitor = self.make(auto_baseline=True)
+        monitor.observe(np.full(200, 0.5), np.full(200, 0.3))
+        assert monitor.status() == "ok"  # freezes the baseline
+        assert monitor.baseline == pytest.approx(0.2)
+        monitor.observe(np.full(200, 0.5), np.full(200, 0.3))
+        assert monitor.status() == "ok"  # same offset, no drift
+        # Outcomes collapse: the gap widens past baseline + trip.
+        monitor.observe(np.full(500, 0.5), np.full(500, 0.0))
+        assert monitor.drift() == pytest.approx(0.3, abs=1e-9)
+        assert monitor.tripped
+
+    def test_reset_clears_baseline_by_default(self):
+        monitor = self.make(auto_baseline=True)
+        monitor.observe(np.full(200, 0.5), np.full(200, 0.3))
+        monitor.status()
+        assert monitor.baseline is not None
+        monitor.reset()
+        assert monitor.baseline is None and monitor.n_observed == 0
+
+    def test_reset_keep_baseline_judges_successor(self):
+        """The promotion path: the successor is judged against the
+        previous champion's frozen baseline."""
+        monitor = self.make(auto_baseline=True)
+        monitor.observe(np.full(200, 0.5), np.full(200, 0.3))
+        monitor.status()
+        monitor.reset(keep_baseline=True)
+        assert monitor.baseline == pytest.approx(0.2)
+        # Successor with the same steady-state gap: quiet.
+        monitor.observe(np.full(200, 0.6), np.full(200, 0.4))
+        assert monitor.status() == "ok"
+        # A broken successor deviates from the inherited baseline.
+        monitor.reset(keep_baseline=True)
+        monitor.observe(np.full(200, 0.9), np.full(200, 0.3))
+        assert monitor.tripped
+
+    def test_rebase_rezeroes_drift(self):
+        monitor = self.make()
+        monitor.observe(np.full(200, 0.4), np.zeros(200))
+        assert monitor.status() == "trip"
+        monitor.rebase()
+        assert monitor.drift() == pytest.approx(0.0)
+        assert monitor.status() == "ok"
+
+    def test_snapshot_fields(self):
+        monitor = self.make()
+        monitor.observe(np.full(10, 0.5), np.zeros(10))
+        snap = monitor.snapshot()
+        assert set(snap) == {"name", "n", "gap", "baseline", "drift", "status"}
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationThresholds(gap_warn=0.1, gap_trip=0.05)
+        with pytest.raises(ValueError):
+            CalibrationThresholds(min_samples=0)
